@@ -1,0 +1,73 @@
+// Quickstart: the Figure 2 text-classification pipeline on a synthetic
+// review corpus, demonstrating the type-safe pipeline construction API,
+// full optimization, and application of the fitted pipeline to new data.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"keystoneml/internal/cluster"
+	"keystoneml/internal/core"
+	"keystoneml/internal/engine"
+	"keystoneml/internal/metrics"
+	"keystoneml/internal/optimizer"
+	"keystoneml/internal/solvers"
+	"keystoneml/internal/text"
+	"keystoneml/internal/workload"
+)
+
+func main() {
+	// 1. Build the pipeline exactly as in the paper's Figure 2:
+	//    Trim andThen LowerCase andThen Tokenizer andThen
+	//    NGramsFeaturizer(1 to 2) andThen TermFrequency(x => 1) andThen
+	//    (CommonSparseFeatures(1e5), data) andThen (LinearSolver(), data, labels)
+	pipe := core.Input[string]()
+	p1 := core.AndThen(pipe, text.Trim())
+	p2 := core.AndThen(p1, text.LowerCase())
+	p3 := core.AndThen(p2, text.Tokenizer())
+	p4 := core.AndThen(p3, text.NGrams(1, 2))
+	p5 := core.AndThen(p4, text.TermFrequency(text.Binary))
+	p6 := core.AndThenEstimator(p5, text.NewCommonSparseFeaturesEst(5000))
+	classifier := core.AndThenLabeledEstimator(p6,
+		core.NewLabeledEst[any, []float64](&solvers.LogisticRegression{Iterations: 25}))
+
+	// 2. Generate training and test corpora (synthetic Amazon-style
+	//    binary sentiment reviews).
+	train := workload.AmazonReviews(1000, 1, 8)
+	test := workload.AmazonReviews(250, 2, 4)
+
+	// 3. Optimize: operator selection + CSE + automatic materialization.
+	plan := optimizer.Optimize(classifier.Graph(), train.Data, train.Labels, optimizer.Config{
+		Level:      optimizer.LevelFull,
+		Resources:  cluster.Local(8),
+		NumClasses: train.Classes,
+	})
+	fmt.Printf("optimization took %v; CSE merged %d nodes; caching %d intermediates\n",
+		plan.OptimizeTime, plan.CSEMerged, len(plan.CacheSet))
+	for node, op := range plan.Chosen {
+		fmt.Printf("  node #%d -> %s\n", node, op)
+	}
+
+	// 4. Train.
+	models, _, report := plan.Execute(train.Data, train.Labels, 0)
+	fmt.Printf("training took %v\n", report.Total)
+
+	// 5. Predict on held-out reviews.
+	fitted := core.NewFitted(classifier.Graph(), models, engine.NewContext(0))
+	out := fitted.Apply(test.Data).Collect()
+	scores := make([][]float64, len(out))
+	for i, r := range out {
+		scores[i] = r.([]float64)
+	}
+	fmt.Printf("test accuracy: %.1f%%\n", 100*metrics.Accuracy(scores, test.Truth))
+
+	// 6. Score a single new document.
+	pred := fitted.ApplyOne("this product is excellent and works perfectly").([]float64)
+	label := "negative"
+	if pred[1] > pred[0] {
+		label = "positive"
+	}
+	fmt.Printf("\"this product is excellent and works perfectly\" -> %s\n", label)
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Microbenchmarks holds locally measured hardware characteristics. The
+// paper collects the cluster resource descriptor "via configuration data
+// and microbenchmarks"; this reproduces the microbenchmark half.
+type Microbenchmarks struct {
+	Cores          int
+	GFLOPs         float64 // multi-core fused multiply-add throughput
+	MemBandwidthGB float64 // large-array copy bandwidth
+}
+
+var (
+	microOnce   sync.Once
+	microResult Microbenchmarks
+)
+
+// RunMicrobenchmarks measures CPU and memory throughput of the local
+// machine. Results are cached after the first call, so repeated Local()
+// constructions are cheap.
+func RunMicrobenchmarks() Microbenchmarks {
+	microOnce.Do(func() {
+		microResult = Microbenchmarks{
+			Cores:          runtime.NumCPU(),
+			GFLOPs:         measureGFLOPs(),
+			MemBandwidthGB: measureMemBandwidth(),
+		}
+	})
+	return microResult
+}
+
+// measureGFLOPs times a fixed count of dependent-free multiply-adds across
+// all cores and converts to GFLOP/s.
+func measureGFLOPs() float64 {
+	cores := runtime.NumCPU()
+	const flopsPerCore = 20_000_000 // 10M fused ops = 20M FLOPs
+	var wg sync.WaitGroup
+	start := time.Now()
+	results := make([]float64, cores)
+	for c := 0; c < cores; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			a, b, acc := 1.000001, 0.999999, 0.0
+			for i := 0; i < flopsPerCore/2; i++ {
+				acc = acc*a + b // 2 FLOPs
+			}
+			results[c] = acc // defeat dead-code elimination
+		}(c)
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	_ = results
+	return float64(cores) * flopsPerCore / secs / 1e9
+}
+
+// measureMemBandwidth times copying a buffer large enough to defeat L2 and
+// reports GB/s (counting both read and write traffic).
+func measureMemBandwidth() float64 {
+	const n = 8 << 20 // 8M float64 = 64 MB
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i)
+	}
+	start := time.Now()
+	const reps = 4
+	for r := 0; r < reps; r++ {
+		copy(dst, src)
+	}
+	secs := time.Since(start).Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	bytes := float64(reps) * 2 * 8 * n
+	return bytes / secs / 1e9
+}

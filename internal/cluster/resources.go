@@ -1,0 +1,149 @@
+// Package cluster models the compute resources a KeystoneML pipeline runs
+// on. It provides the cluster resource descriptor R from Section 3 of the
+// paper (per-node CPU throughput, memory/disk/network bandwidth, node and
+// core counts), microbenchmarks that measure those quantities on the local
+// machine, and a virtual clock that converts operator cost profiles into
+// simulated wall time so scale-out experiments (Figure 12, Table 6) can be
+// run without a physical cluster.
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// Resources is the cluster resource descriptor (R in the paper's cost
+// model, Eq. 1-2). All throughput figures are per node.
+type Resources struct {
+	Nodes          int     // number of worker nodes (R_w)
+	CoresPerNode   int     // physical cores per node
+	GFLOPs         float64 // per-node CPU throughput, GFLOP/s
+	MemBandwidthGB float64 // per-node memory bandwidth, GB/s
+	DiskBandwidth  float64 // per-node disk bandwidth, GB/s
+	NetBandwidthGB float64 // per-link network bandwidth, GB/s
+	MemPerNodeGB   float64 // cluster memory available for caching per node
+	// StageLatencySec is the fixed cost of launching one distributed
+	// stage (task scheduling, barrier): ~1s for a Spark-style cluster
+	// engine, microseconds for the in-process goroutine engine.
+	StageLatencySec float64
+}
+
+// R3_4XLarge models the Amazon EC2 r3.4xlarge instances used for every
+// experiment in the paper: 8 physical cores, 122 GB of memory, a 320 GB
+// SSD, on 10 GbE networking.
+func R3_4XLarge(nodes int) Resources {
+	return Resources{
+		Nodes:           nodes,
+		CoresPerNode:    8,
+		GFLOPs:          90,   // 8 cores x ~11 GFLOP/s sustained dgemm
+		MemBandwidthGB:  40,   // sustained stream bandwidth
+		DiskBandwidth:   0.45, // SSD sequential
+		NetBandwidthGB:  1.25, // 10 GbE
+		MemPerNodeGB:    122,
+		StageLatencySec: 0.8,
+	}
+}
+
+// Local returns a descriptor for the local machine with the given number
+// of simulated nodes, using measured microbenchmark values.
+func Local(nodes int) Resources {
+	mb := RunMicrobenchmarks()
+	return Resources{
+		Nodes:           nodes,
+		CoresPerNode:    mb.Cores,
+		GFLOPs:          mb.GFLOPs,
+		MemBandwidthGB:  mb.MemBandwidthGB,
+		DiskBandwidth:   0.5,
+		NetBandwidthGB:  20, // in-process: partitions share memory
+		MemPerNodeGB:    4,
+		StageLatencySec: 20e-6, // goroutine fork/join
+	}
+}
+
+// Validate reports an error if the descriptor is not usable.
+func (r Resources) Validate() error {
+	switch {
+	case r.Nodes <= 0:
+		return fmt.Errorf("cluster: Nodes must be positive, got %d", r.Nodes)
+	case r.GFLOPs <= 0:
+		return fmt.Errorf("cluster: GFLOPs must be positive, got %g", r.GFLOPs)
+	case r.NetBandwidthGB <= 0:
+		return fmt.Errorf("cluster: NetBandwidthGB must be positive, got %g", r.NetBandwidthGB)
+	case r.MemBandwidthGB <= 0:
+		return fmt.Errorf("cluster: MemBandwidthGB must be positive, got %g", r.MemBandwidthGB)
+	}
+	return nil
+}
+
+// TotalCores returns the aggregate core count.
+func (r Resources) TotalCores() int { return r.Nodes * r.CoresPerNode }
+
+// TotalMemGB returns the aggregate cache memory across the cluster.
+func (r Resources) TotalMemGB() float64 { return float64(r.Nodes) * r.MemPerNodeGB }
+
+// ExecWeight returns R_exec: seconds per FLOP of local execution across one
+// node's cores. Splitting the model into an operator part and a cluster
+// part (Eq. 1-2) means this weight is the only place hardware compute speed
+// enters the cost.
+func (r Resources) ExecWeight() float64 {
+	return 1.0 / (r.GFLOPs * 1e9)
+}
+
+// CoordWeight returns R_coord: seconds per byte crossing the most loaded
+// network link.
+func (r Resources) CoordWeight() float64 {
+	return 1.0 / (r.NetBandwidthGB * 1e9)
+}
+
+// MemWeight returns seconds per byte of memory traffic on one node.
+func (r Resources) MemWeight() float64 {
+	return 1.0 / (r.MemBandwidthGB * 1e9)
+}
+
+// DiskWeight returns seconds per byte of disk traffic on one node, or the
+// memory weight if no disk bandwidth is configured.
+func (r Resources) DiskWeight() float64 {
+	if r.DiskBandwidth <= 0 {
+		return r.MemWeight()
+	}
+	return 1.0 / (r.DiskBandwidth * 1e9)
+}
+
+// WithNodes returns a copy of the descriptor with a different node count.
+// Used by the scaling experiments to sweep cluster sizes.
+func (r Resources) WithNodes(n int) Resources {
+	r.Nodes = n
+	return r
+}
+
+// String implements fmt.Stringer.
+func (r Resources) String() string {
+	return fmt.Sprintf("cluster{nodes=%d cores/node=%d %.0fGFLOP/s mem=%.0fGB/s net=%.2fGB/s cache=%.0fGB/node}",
+		r.Nodes, r.CoresPerNode, r.GFLOPs, r.MemBandwidthGB, r.NetBandwidthGB, r.MemPerNodeGB)
+}
+
+// Clock is a virtual clock used in simulated-scale mode. Operator cost
+// profiles are converted to durations with the resource weights and
+// accumulated here, letting a single process report the wall time a real
+// cluster of the described size would take.
+type Clock struct {
+	elapsed time.Duration
+}
+
+// Advance adds d to the virtual clock. Negative durations are ignored.
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.elapsed += d
+	}
+}
+
+// AdvanceSeconds adds s seconds to the virtual clock.
+func (c *Clock) AdvanceSeconds(s float64) {
+	c.Advance(time.Duration(s * float64(time.Second)))
+}
+
+// Elapsed returns the accumulated virtual time.
+func (c *Clock) Elapsed() time.Duration { return c.elapsed }
+
+// Reset zeroes the clock.
+func (c *Clock) Reset() { c.elapsed = 0 }

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestR3Descriptor(t *testing.T) {
+	r := R3_4XLarge(16)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes != 16 || r.CoresPerNode != 8 {
+		t.Errorf("descriptor wrong: %v", r)
+	}
+	if r.TotalCores() != 128 {
+		t.Errorf("TotalCores = %d", r.TotalCores())
+	}
+	if r.TotalMemGB() != 16*122 {
+		t.Errorf("TotalMemGB = %g", r.TotalMemGB())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Resources{
+		{Nodes: 0, GFLOPs: 1, NetBandwidthGB: 1, MemBandwidthGB: 1},
+		{Nodes: 1, GFLOPs: 0, NetBandwidthGB: 1, MemBandwidthGB: 1},
+		{Nodes: 1, GFLOPs: 1, NetBandwidthGB: 0, MemBandwidthGB: 1},
+		{Nodes: 1, GFLOPs: 1, NetBandwidthGB: 1, MemBandwidthGB: 0},
+	}
+	for i, r := range bad {
+		if r.Validate() == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestWeights(t *testing.T) {
+	r := R3_4XLarge(4)
+	// 90 GFLOP/s -> ~1.1e-11 s per FLOP.
+	if w := r.ExecWeight(); w <= 0 || w > 1e-9 {
+		t.Errorf("ExecWeight = %g", w)
+	}
+	if w := r.CoordWeight(); w <= 0 || w > 1e-8 {
+		t.Errorf("CoordWeight = %g", w)
+	}
+	if r.DiskWeight() <= r.MemWeight() {
+		t.Error("disk should be slower than memory")
+	}
+	noDisk := r
+	noDisk.DiskBandwidth = 0
+	if noDisk.DiskWeight() != noDisk.MemWeight() {
+		t.Error("missing disk bandwidth should fall back to memory weight")
+	}
+}
+
+func TestWithNodes(t *testing.T) {
+	r := R3_4XLarge(8)
+	r2 := r.WithNodes(128)
+	if r2.Nodes != 128 || r.Nodes != 8 {
+		t.Error("WithNodes must copy")
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	c.Advance(2 * time.Second)
+	c.AdvanceSeconds(1.5)
+	c.Advance(-time.Hour) // ignored
+	if got := c.Elapsed(); got != 3500*time.Millisecond {
+		t.Errorf("Elapsed = %v", got)
+	}
+	c.Reset()
+	if c.Elapsed() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestMicrobenchmarksPlausible(t *testing.T) {
+	mb := RunMicrobenchmarks()
+	if mb.Cores < 1 {
+		t.Errorf("cores = %d", mb.Cores)
+	}
+	if mb.GFLOPs <= 0 || mb.GFLOPs > 10000 {
+		t.Errorf("implausible GFLOPs %g", mb.GFLOPs)
+	}
+	if mb.MemBandwidthGB <= 0 || mb.MemBandwidthGB > 10000 {
+		t.Errorf("implausible memory bandwidth %g", mb.MemBandwidthGB)
+	}
+	// Cached: second call returns the identical measurement.
+	if mb2 := RunMicrobenchmarks(); mb2 != mb {
+		t.Error("microbenchmarks not cached")
+	}
+}
+
+func TestLocalDescriptor(t *testing.T) {
+	r := Local(4)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes != 4 {
+		t.Errorf("nodes = %d", r.Nodes)
+	}
+}

@@ -1,0 +1,180 @@
+package conv
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"keystoneml/internal/cluster"
+	"keystoneml/internal/cost"
+	"keystoneml/internal/image"
+	"keystoneml/internal/linalg"
+)
+
+func randomImage(seed uint64, w, h, c int) *image.Image {
+	rng := linalg.NewRNG(seed)
+	im := image.New(w, h, c)
+	for i := range im.Pix {
+		im.Pix[i] = rng.Gaussian()
+	}
+	return im
+}
+
+func imagesClose(a, b *image.Image, tol float64) bool {
+	if a.Width != b.Width || a.Height != b.Height || a.Channels != b.Channels {
+		return false
+	}
+	for i := range a.Pix {
+		if math.Abs(a.Pix[i]-b.Pix[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBLASMatchesDirect(t *testing.T) {
+	im := randomImage(1, 20, 16, 3)
+	fb := RandomFilterBank(5, 3, 4, linalg.NewRNG(2))
+	want := Direct{}.Convolve(im, fb)
+	got := BLAS{}.Convolve(im, fb)
+	if !imagesClose(want, got, 1e-9) {
+		t.Error("BLAS convolution differs from direct")
+	}
+	if got.Width != 16 || got.Height != 12 || got.Channels != 4 {
+		t.Errorf("output shape %v", got)
+	}
+}
+
+func TestFFTMatchesDirect(t *testing.T) {
+	im := randomImage(3, 24, 24, 2)
+	fb := RandomFilterBank(7, 2, 3, linalg.NewRNG(4))
+	want := Direct{}.Convolve(im, fb)
+	got := FFT{}.Convolve(im, fb)
+	if !imagesClose(want, got, 1e-8) {
+		t.Error("FFT convolution differs from direct")
+	}
+}
+
+func TestSeparableMatchesDirect(t *testing.T) {
+	im := randomImage(5, 18, 18, 3)
+	fb := SeparableFilterBank(4, 3, 5, linalg.NewRNG(6))
+	if !fb.IsSeparable() {
+		t.Fatal("SeparableFilterBank produced non-separable filters")
+	}
+	want := Direct{}.Convolve(im, fb)
+	got := Separable{}.Convolve(im, fb)
+	if !imagesClose(want, got, 1e-8) {
+		t.Error("separable convolution differs from direct")
+	}
+}
+
+func TestRandomBankNotSeparable(t *testing.T) {
+	fb := RandomFilterBank(5, 1, 2, linalg.NewRNG(7))
+	if fb.IsSeparable() {
+		t.Error("random 5x5 filters reported separable")
+	}
+}
+
+func TestSeparablePanicsOnNonSeparable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	im := randomImage(8, 10, 10, 1)
+	fb := RandomFilterBank(3, 1, 1, linalg.NewRNG(9))
+	Separable{}.Convolve(im, fb)
+}
+
+func TestConvolverOptions(t *testing.T) {
+	sep := &Convolver{Bank: SeparableFilterBank(3, 1, 2, linalg.NewRNG(10))}
+	if got := len(sep.Options()); got != 3 {
+		t.Errorf("separable bank options = %d, want 3", got)
+	}
+	nonsep := &Convolver{Bank: RandomFilterBank(3, 1, 2, linalg.NewRNG(11))}
+	if got := len(nonsep.Options()); got != 2 {
+		t.Errorf("non-separable bank options = %d, want 2 (no separable strategy)", got)
+	}
+}
+
+func TestCostSmallKFavorsBLAS(t *testing.T) {
+	// Figure 7: for small k BLAS wins.
+	fb := SeparableFilterBank(2, 3, 50, linalg.NewRNG(12))
+	c := &Convolver{Bank: fb}
+	stats := cost.DataStats{N: 1, Dim: 256 * 256 * 3, Sparsity: 1}
+	opts := c.Options()
+	idx := cost.Choose(opts, stats, cluster.R3_4XLarge(1))
+	if name := opts[idx].Model.Name(); name != "conv.blas" {
+		t.Errorf("k=2 choice = %s, want conv.blas", name)
+	}
+}
+
+func TestCostLargeKAvoidsBLAS(t *testing.T) {
+	// Figure 7: for large k the k² term makes BLAS the wrong choice.
+	fb := RandomFilterBank(30, 3, 50, linalg.NewRNG(13))
+	c := &Convolver{Bank: fb}
+	stats := cost.DataStats{N: 1, Dim: 256 * 256 * 3, Sparsity: 1}
+	opts := c.Options()
+	idx := cost.Choose(opts, stats, cluster.R3_4XLarge(1))
+	if name := opts[idx].Model.Name(); name == "conv.blas" {
+		t.Error("k=30 choice = conv.blas, want FFT")
+	}
+}
+
+func TestCostSeparableLargeKFavorsSeparable(t *testing.T) {
+	// With separable filters and moderate k, the matrix-vector scheme wins
+	// over BLAS.
+	fb := SeparableFilterBank(20, 3, 50, linalg.NewRNG(14))
+	c := &Convolver{Bank: fb}
+	stats := cost.DataStats{N: 1, Dim: 256 * 256 * 3, Sparsity: 1}
+	opts := c.Options()
+	idx := cost.Choose(opts, stats, cluster.R3_4XLarge(1))
+	if name := opts[idx].Model.Name(); name != "conv.separable" {
+		t.Errorf("separable k=20 choice = %s, want conv.separable", name)
+	}
+}
+
+func TestConvolverApplyDefault(t *testing.T) {
+	fb := RandomFilterBank(3, 1, 2, linalg.NewRNG(15))
+	c := &Convolver{Bank: fb}
+	out := c.Apply(randomImage(16, 8, 8, 1)).(*image.Image)
+	if out.Width != 6 || out.Channels != 2 {
+		t.Errorf("default apply shape = %v", out)
+	}
+}
+
+func TestFilterTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Direct{}.Convolve(randomImage(17, 4, 4, 1), RandomFilterBank(6, 1, 1, linalg.NewRNG(18)))
+}
+
+// Property (testing/quick): convolution is linear in the image — doubling
+// the image doubles the output (BLAS strategy).
+func TestConvolutionLinearity(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := linalg.NewRNG(seed)
+		size := 6 + rng.Intn(8)
+		k := 2 + rng.Intn(3)
+		im := randomImage(seed, size, size, 1)
+		fb := RandomFilterBank(k, 1, 2, rng)
+		out1 := BLAS{}.Convolve(im, fb)
+		im2 := im.Clone()
+		for i := range im2.Pix {
+			im2.Pix[i] *= 2
+		}
+		out2 := BLAS{}.Convolve(im2, fb)
+		for i := range out1.Pix {
+			if math.Abs(out2.Pix[i]-2*out1.Pix[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

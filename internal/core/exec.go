@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"keystoneml/internal/engine"
+)
+
+// NodeStats is the measured execution record for one DAG node: the
+// ingredients of the pipeline profile (Section 4.1) that the
+// materialization optimizer consumes — t(v), size(v) and observed access
+// counts.
+type NodeStats struct {
+	Name     string
+	Kind     NodeKind
+	Computes int           // how many times the node's computation ran
+	Hits     int           // how many accesses were served by the cache
+	Time     time.Duration // total local computation time across runs
+	OutCount int           // records in the node output (last run)
+	OutBytes int64         // estimated bytes of the node output (last run)
+}
+
+// TimePerCompute returns the average local computation time t(v).
+func (s NodeStats) TimePerCompute() time.Duration {
+	if s.Computes == 0 {
+		return 0
+	}
+	return s.Time / time.Duration(s.Computes)
+}
+
+// ExecReport aggregates execution statistics for one Fit run.
+type ExecReport struct {
+	Nodes map[int]*NodeStats
+	Total time.Duration
+}
+
+// Executor evaluates a pipeline DAG depth-first over bound training data.
+// There is deliberately no implicit memoization: a node accessed twice
+// recomputes unless the cache manager holds its output. This reproduces
+// the execution model the paper's T(v)/C(v) analysis describes — the
+// entire value of the materialization optimizer comes from this
+// recompute-on-miss behaviour.
+type Executor struct {
+	g      *Graph
+	ctx    *engine.Context
+	cache  *engine.CacheManager // nil disables materialization entirely
+	data   *engine.Collection
+	labels *engine.Collection
+
+	models map[int]TransformOp
+	report *ExecReport
+}
+
+// NewExecutor binds a graph to training data and an execution context.
+// labels may be nil for unsupervised pipelines; cache may be nil to run
+// with no materialization at all.
+func NewExecutor(g *Graph, ctx *engine.Context, cache *engine.CacheManager, data, labels *engine.Collection) *Executor {
+	return &Executor{
+		g:      g,
+		ctx:    ctx,
+		cache:  cache,
+		data:   data,
+		labels: labels,
+		models: make(map[int]TransformOp),
+		report: &ExecReport{Nodes: make(map[int]*NodeStats)},
+	}
+}
+
+// Run executes the DAG to the sink and returns the fitted models (keyed by
+// estimator node ID), the sink output, and the execution report.
+func (e *Executor) Run() (map[int]TransformOp, *engine.Collection, *ExecReport) {
+	start := time.Now()
+	out := e.materialize(e.g.Sink)
+	e.report.Total = time.Since(start)
+	return e.models, out, e.report
+}
+
+func (e *Executor) stats(n *Node) *NodeStats {
+	s, ok := e.report.Nodes[n.ID]
+	if !ok {
+		s = &NodeStats{Name: n.OpName(), Kind: n.Kind}
+		e.report.Nodes[n.ID] = s
+	}
+	return s
+}
+
+func cacheKey(id int) string { return "node:" + strconv.Itoa(id) }
+
+// materialize produces the output collection of n, consulting the cache
+// first and recomputing from dependencies on a miss.
+func (e *Executor) materialize(n *Node) *engine.Collection {
+	st := e.stats(n)
+	if e.cache != nil {
+		if v, ok := e.cache.Get(cacheKey(n.ID)); ok {
+			st.Hits++
+			return v.(*engine.Collection)
+		}
+	}
+	out := e.compute(n)
+	st.Computes++
+	st.OutCount = out.Count()
+	st.OutBytes = SizeOfSlice(out.Collect())
+	if e.cache != nil {
+		e.cache.Put(cacheKey(n.ID), out, st.OutBytes)
+	}
+	return out
+}
+
+// compute evaluates n's operator after materializing its dependencies.
+// Only the node-local work is timed; dependency time is charged to the
+// dependencies themselves.
+func (e *Executor) compute(n *Node) *engine.Collection {
+	switch n.Kind {
+	case KindSource:
+		if e.data == nil {
+			panic("core: pipeline executed without bound training data")
+		}
+		return e.data
+	case KindLabels:
+		if e.labels == nil {
+			panic("core: pipeline uses labels but none were bound at Fit time")
+		}
+		return e.labels
+	case KindTransform:
+		in := e.materialize(n.Deps[0])
+		st := e.stats(n)
+		start := time.Now()
+		out := e.ctx.Map(in, n.Transform.Apply)
+		st.Time += time.Since(start)
+		return out
+	case KindGather:
+		ins := make([]*engine.Collection, len(n.Deps))
+		for i, d := range n.Deps {
+			ins[i] = e.materialize(d)
+		}
+		st := e.stats(n)
+		start := time.Now()
+		out := ins[0]
+		for i := 1; i < len(ins); i++ {
+			out = e.ctx.Zip(out, ins[i], concatFeatures)
+		}
+		st.Time += time.Since(start)
+		return out
+	case KindApplyModel:
+		model := e.fitModel(n.Deps[0])
+		in := e.materialize(n.Deps[1])
+		st := e.stats(n)
+		start := time.Now()
+		out := e.ctx.Map(in, model.Apply)
+		st.Time += time.Since(start)
+		return out
+	case KindEstimator:
+		panic("core: estimator node materialized as data; estimators produce models, not collections")
+	default:
+		panic(fmt.Sprintf("core: unknown node kind %v", n.Kind))
+	}
+}
+
+// fitModel fits the estimator node once per run (models are memoized; it
+// is the estimator's *input* that is refetched per pass, not the fit
+// itself).
+func (e *Executor) fitModel(n *Node) TransformOp {
+	if n.Kind != KindEstimator {
+		panic(fmt.Sprintf("core: fitModel on non-estimator node #%d (%s)", n.ID, n.Kind))
+	}
+	if m, ok := e.models[n.ID]; ok {
+		return m
+	}
+	dataDep := n.Deps[0]
+	fetch := func() *engine.Collection { return e.materialize(dataDep) }
+	var labelFetch Fetch
+	if len(n.Deps) > 1 {
+		labelDep := n.Deps[1]
+		labelFetch = func() *engine.Collection { return e.materialize(labelDep) }
+	}
+	st := e.stats(n)
+	start := time.Now()
+	// Fit wall time includes input fetches; subtract the time attributed
+	// to dependency computes during the window so t(v) stays node-local.
+	depBefore := e.subtreeTime(n)
+	model := n.Estimator.Fit(e.ctx, fetch, labelFetch)
+	depAfter := e.subtreeTime(n)
+	local := time.Since(start) - (depAfter - depBefore)
+	if local < 0 {
+		local = 0
+	}
+	st.Time += local
+	st.Computes++
+	e.models[n.ID] = model
+	return model
+}
+
+// subtreeTime sums the recorded local time of n's proper ancestors
+// (everything upstream of the estimator).
+func (e *Executor) subtreeTime(n *Node) time.Duration {
+	seen := map[int]bool{}
+	var total time.Duration
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		if seen[m.ID] {
+			return
+		}
+		seen[m.ID] = true
+		if s, ok := e.report.Nodes[m.ID]; ok {
+			total += s.Time
+		}
+		for _, d := range m.Deps {
+			walk(d)
+		}
+	}
+	for _, d := range n.Deps {
+		walk(d)
+	}
+	return total
+}
+
+func concatFeatures(a, b any) any {
+	x, ok1 := a.([]float64)
+	y, ok2 := b.([]float64)
+	if !ok1 || !ok2 {
+		panic(fmt.Sprintf("core: gather expects []float64 branches, got %T and %T", a, b))
+	}
+	out := make([]float64, 0, len(x)+len(y))
+	out = append(out, x...)
+	return append(out, y...)
+}
+
+// Fitted is a trained pipeline: every estimator node resolved to its
+// fitted model. Applying it never consults the training cache.
+type Fitted struct {
+	g      *Graph
+	models map[int]TransformOp
+	ctx    *engine.Context
+}
+
+// NewFitted assembles a fitted pipeline from a graph and its trained
+// models.
+func NewFitted(g *Graph, models map[int]TransformOp, ctx *engine.Context) *Fitted {
+	return &Fitted{g: g, models: models, ctx: ctx}
+}
+
+// Apply runs the transformer chain over new data. Estimator fits are
+// replaced by their trained models; within one Apply call node outputs are
+// memoized (test-time execution has no iteration, so plain memoization is
+// both correct and optimal).
+func (f *Fitted) Apply(data *engine.Collection) *engine.Collection {
+	memo := make(map[int]*engine.Collection)
+	var eval func(n *Node) *engine.Collection
+	eval = func(n *Node) *engine.Collection {
+		if c, ok := memo[n.ID]; ok {
+			return c
+		}
+		var out *engine.Collection
+		switch n.Kind {
+		case KindSource:
+			out = data
+		case KindLabels:
+			panic("core: fitted pipeline must not read labels at apply time")
+		case KindTransform:
+			out = f.ctx.Map(eval(n.Deps[0]), n.Transform.Apply)
+		case KindGather:
+			out = eval(n.Deps[0])
+			for _, d := range n.Deps[1:] {
+				out = f.ctx.Zip(out, eval(d), concatFeatures)
+			}
+		case KindApplyModel:
+			model, ok := f.models[n.Deps[0].ID]
+			if !ok {
+				panic(fmt.Sprintf("core: missing fitted model for estimator node #%d", n.Deps[0].ID))
+			}
+			out = f.ctx.Map(eval(n.Deps[1]), model.Apply)
+		default:
+			panic(fmt.Sprintf("core: unexpected node kind %v at apply time", n.Kind))
+		}
+		memo[n.ID] = out
+		return out
+	}
+	return eval(f.g.Sink)
+}
+
+// ApplyOne runs a single record through the fitted pipeline.
+func (f *Fitted) ApplyOne(record any) any {
+	out := f.Apply(engine.FromSlice([]any{record}, 1))
+	return out.Collect()[0]
+}

@@ -1,0 +1,116 @@
+package core
+
+import "fmt"
+
+// Pipeline is a type-safe handle onto a pipeline DAG: a (not yet fitted)
+// function from A records to B records. Pipelines are immutable; chaining
+// returns new handles sharing the underlying graph, which is what makes
+// branching (calling a chain function twice on the same pipeline) and
+// gather work, with common prefixes shared structurally.
+//
+// Go methods cannot introduce new type parameters, so the paper's
+// pipe.andThen(next) is spelled as the package-level core.AndThen(pipe,
+// next); the type discipline is identical.
+type Pipeline[A, B any] struct {
+	g   *Graph
+	out *Node
+}
+
+// Input starts a pipeline of A records: the identity pipeline A -> A.
+func Input[A any]() *Pipeline[A, A] {
+	g := NewGraph()
+	return &Pipeline[A, A]{g: g, out: g.Source}
+}
+
+// Graph exposes the underlying DAG (for the optimizer and executor).
+func (p *Pipeline[A, B]) Graph() *Graph { return p.g }
+
+// OutputNode exposes the DAG node producing this pipeline's output.
+func (p *Pipeline[A, B]) OutputNode() *Node { return p.out }
+
+// Op is a typed Transformer from A to B wrapping an untyped TransformOp.
+// Operator packages export constructors returning Op values so that
+// pipelines only compose when record types line up at compile time.
+type Op[A, B any] struct {
+	op TransformOp
+}
+
+// NewOp wraps an untyped TransformOp with type information. The caller
+// asserts that op maps A records to B records.
+func NewOp[A, B any](op TransformOp) Op[A, B] { return Op[A, B]{op: op} }
+
+// FuncOp builds a typed Op directly from a function.
+func FuncOp[A, B any](name string, fn func(A) B) Op[A, B] {
+	return Op[A, B]{op: TypedTransform(name, fn)}
+}
+
+// Raw returns the underlying untyped operator.
+func (o Op[A, B]) Raw() TransformOp { return o.op }
+
+// Est is a typed unsupervised Estimator: fit on B records, produces a
+// transformer B -> C.
+type Est[B, C any] struct {
+	op EstimatorOp
+}
+
+// NewEst wraps an untyped EstimatorOp as an unsupervised typed estimator.
+func NewEst[B, C any](op EstimatorOp) Est[B, C] { return Est[B, C]{op: op} }
+
+// Raw returns the underlying untyped operator.
+func (e Est[B, C]) Raw() EstimatorOp { return e.op }
+
+// LabeledEst is a typed supervised Estimator: fit on B records plus the
+// pipeline's label input, produces a transformer B -> C.
+type LabeledEst[B, C any] struct {
+	op EstimatorOp
+}
+
+// NewLabeledEst wraps an untyped EstimatorOp as a supervised typed
+// estimator.
+func NewLabeledEst[B, C any](op EstimatorOp) LabeledEst[B, C] { return LabeledEst[B, C]{op: op} }
+
+// Raw returns the underlying untyped operator.
+func (e LabeledEst[B, C]) Raw() EstimatorOp { return e.op }
+
+// AndThen chains a transformer onto a pipeline: (A -> B) andThen (B -> C).
+func AndThen[A, B, C any](p *Pipeline[A, B], op Op[B, C]) *Pipeline[A, C] {
+	n := p.g.AddTransform(op.op, p.out)
+	return &Pipeline[A, C]{g: p.g, out: n}
+}
+
+// AndThenEstimator chains an unsupervised estimator: the estimator is fit
+// on the pipeline's output over the training data, and the resulting model
+// is applied to that same output.
+func AndThenEstimator[A, B, C any](p *Pipeline[A, B], est Est[B, C]) *Pipeline[A, C] {
+	e := p.g.AddEstimator(est.op, p.out, false)
+	a := p.g.AddApplyModel(e, p.out)
+	return &Pipeline[A, C]{g: p.g, out: a}
+}
+
+// AndThenLabeledEstimator chains a supervised estimator, which additionally
+// reads the pipeline's label input (bound at Fit time).
+func AndThenLabeledEstimator[A, B, C any](p *Pipeline[A, B], est LabeledEst[B, C]) *Pipeline[A, C] {
+	e := p.g.AddEstimator(est.op, p.out, true)
+	a := p.g.AddApplyModel(e, p.out)
+	return &Pipeline[A, C]{g: p.g, out: a}
+}
+
+// Gather combines the outputs of several branches rooted in the same
+// pipeline graph by concatenating their []float64 feature vectors
+// element-wise. All branches must share the same graph (i.e. originate
+// from the same Input), mirroring the paper's Pipeline.gather.
+func Gather[A any](branches ...*Pipeline[A, []float64]) *Pipeline[A, []float64] {
+	if len(branches) == 0 {
+		panic("core: Gather requires at least one branch")
+	}
+	g := branches[0].g
+	nodes := make([]*Node, len(branches))
+	for i, b := range branches {
+		if b.g != g {
+			panic(fmt.Sprintf("core: Gather branch %d belongs to a different pipeline graph", i))
+		}
+		nodes[i] = b.out
+	}
+	n := g.AddGather(nodes)
+	return &Pipeline[A, []float64]{g: g, out: n}
+}

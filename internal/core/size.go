@@ -1,0 +1,65 @@
+package core
+
+import "keystoneml/internal/linalg"
+
+// ByteSizer lets record types report their own in-memory footprint;
+// domain types (images, documents) implement it.
+type ByteSizer interface {
+	ByteSize() int64
+}
+
+const (
+	sliceHeaderBytes = 24
+	fallbackBytes    = 64
+)
+
+// SizeOf estimates the in-memory footprint of one record in bytes. It is
+// used by the pipeline profiler to extrapolate intermediate dataset sizes
+// (size(v) in the materialization problem). Estimates only need to be
+// proportionate, not exact: the optimizer compares sizes against a memory
+// budget with generous slack.
+func SizeOf(record any) int64 {
+	switch r := record.(type) {
+	case nil:
+		return 0
+	case ByteSizer:
+		return r.ByteSize()
+	case []float64:
+		return int64(8*len(r)) + sliceHeaderBytes
+	case [][]float64:
+		var s int64 = sliceHeaderBytes
+		for _, d := range r {
+			s += int64(8*len(d)) + sliceHeaderBytes
+		}
+		return s
+	case []float32:
+		return int64(4*len(r)) + sliceHeaderBytes
+	case []int:
+		return int64(8*len(r)) + sliceHeaderBytes
+	case *linalg.SparseVector:
+		return int64(16*r.NNZ()) + 2*sliceHeaderBytes + 8
+	case *linalg.Matrix:
+		return int64(8*len(r.Data)) + sliceHeaderBytes + 16
+	case string:
+		return int64(len(r)) + 16
+	case []string:
+		var s int64 = sliceHeaderBytes
+		for _, x := range r {
+			s += int64(len(x)) + 16
+		}
+		return s
+	case float64, int, int64, uint64, bool:
+		return 8
+	default:
+		return fallbackBytes
+	}
+}
+
+// SizeOfSlice sums SizeOf over records.
+func SizeOfSlice(records []any) int64 {
+	var s int64
+	for _, r := range records {
+		s += SizeOf(r)
+	}
+	return s
+}

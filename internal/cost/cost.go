@@ -1,0 +1,105 @@
+// Package cost defines the operator cost-model framework from Figure 3 of
+// the KeystoneML paper: CostProfile, CostModel, and the dataset statistics
+// (A_s) that cost models consume. The cost of a physical operator f is
+//
+//	c(f, A_s, R) = R_exec * c_exec(f, A_s, R_w) + R_coord * c_coord(f, A_s, R_w)
+//
+// where the operator-specific functions c_exec / c_coord describe the
+// longest critical path in the operator's execution graph (most FLOPs on a
+// node, most bytes over a link) and the cluster-specific weights R_exec /
+// R_coord come from the resource descriptor. Splitting the model this way
+// lets new operators and new hardware be added independently.
+package cost
+
+import "keystoneml/internal/cluster"
+
+// DataStats describes statistics of a dataset used as an operator's input
+// (A_s in the paper). It is estimated from a sample during execution
+// subsampling (Section 4.1).
+type DataStats struct {
+	N        int64   // number of records
+	Dim      int64   // features per record
+	K        int64   // number of classes / output dimensionality
+	Sparsity float64 // fraction of entries that are non-zero; 1 = dense
+	Bytes    int64   // estimated total dataset size in bytes
+}
+
+// AvgNNZ returns s, the average number of non-zero features per example
+// (used by the sparse solver models in Table 1).
+func (d DataStats) AvgNNZ() float64 {
+	if d.Sparsity <= 0 || d.Sparsity > 1 {
+		return float64(d.Dim)
+	}
+	return d.Sparsity * float64(d.Dim)
+}
+
+// IsSparse reports whether the input should be treated as sparse. The 10%
+// threshold matches the point at which CSR storage beats dense storage.
+func (d DataStats) IsSparse() bool { return d.Sparsity > 0 && d.Sparsity < 0.1 }
+
+// Profile is a CostProfile: resource consumption of one physical operator
+// execution on the critical path.
+type Profile struct {
+	Flops   float64 // floating point operations on the busiest node
+	Bytes   float64 // memory traffic on the busiest node
+	Network float64 // bytes over the most loaded network link
+	Stages  float64 // distributed stages launched (job-scheduling latency)
+}
+
+// Plus returns the sum of two profiles (sequential composition).
+func (p Profile) Plus(o Profile) Profile {
+	return Profile{Flops: p.Flops + o.Flops, Bytes: p.Bytes + o.Bytes, Network: p.Network + o.Network, Stages: p.Stages + o.Stages}
+}
+
+// Scale multiplies all components, e.g. by an iteration count.
+func (p Profile) Scale(f float64) Profile {
+	return Profile{Flops: p.Flops * f, Bytes: p.Bytes * f, Network: p.Network * f, Stages: p.Stages * f}
+}
+
+// Seconds converts the profile to estimated wall seconds on the given
+// cluster: compute and memory terms are weighted by the execution weight,
+// the network term by the coordination weight.
+func (p Profile) Seconds(r cluster.Resources) float64 {
+	exec := p.Flops*r.ExecWeight() + p.Bytes*r.MemWeight()
+	coord := p.Network*r.CoordWeight() + p.Stages*r.StageLatencySec
+	return exec + coord
+}
+
+// Model is a CostModel for one physical operator implementation: given
+// input statistics and a worker count it produces a cost profile.
+type Model interface {
+	// Name identifies the physical operator (e.g. "solver.lbfgs").
+	Name() string
+	// Cost estimates the profile of running the operator on a dataset with
+	// the given statistics across `workers` nodes.
+	Cost(stats DataStats, workers int) Profile
+}
+
+// Option pairs a cost model with an opaque physical operator value; the
+// optimizer scores the models and returns the chosen operator.
+type Option struct {
+	Model    Model
+	Operator any
+}
+
+// Choose evaluates every option's cost model and returns the index of the
+// cheapest option under the given statistics and cluster. Infeasible
+// options (negative FLOPs by convention) are skipped; if all are
+// infeasible, index 0 is returned.
+func Choose(options []Option, stats DataStats, r cluster.Resources) int {
+	best, bestCost := -1, 0.0
+	for i, opt := range options {
+		p := opt.Model.Cost(stats, r.Nodes)
+		if p.Flops < 0 {
+			continue // marked infeasible (e.g. exceeds per-node memory)
+		}
+		c := p.Seconds(r)
+		if best < 0 || c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return best
+}

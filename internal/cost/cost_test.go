@@ -1,0 +1,88 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"keystoneml/internal/cluster"
+)
+
+type fixedModel struct {
+	name string
+	p    Profile
+}
+
+func (m fixedModel) Name() string                { return m.name }
+func (m fixedModel) Cost(DataStats, int) Profile { return m.p }
+
+func TestProfileArithmetic(t *testing.T) {
+	a := Profile{Flops: 1, Bytes: 2, Network: 3}
+	b := Profile{Flops: 10, Bytes: 20, Network: 30}
+	s := a.Plus(b)
+	if s.Flops != 11 || s.Bytes != 22 || s.Network != 33 {
+		t.Errorf("Plus = %+v", s)
+	}
+	sc := a.Scale(4)
+	if sc.Flops != 4 || sc.Bytes != 8 || sc.Network != 12 {
+		t.Errorf("Scale = %+v", sc)
+	}
+}
+
+func TestProfileSeconds(t *testing.T) {
+	r := cluster.Resources{Nodes: 1, GFLOPs: 1, MemBandwidthGB: 1, NetBandwidthGB: 1}
+	p := Profile{Flops: 1e9, Bytes: 1e9, Network: 1e9}
+	// 1s compute + 1s memory + 1s network.
+	if got := p.Seconds(r); math.Abs(got-3) > 1e-9 {
+		t.Errorf("Seconds = %g, want 3", got)
+	}
+}
+
+func TestChoosePicksCheapest(t *testing.T) {
+	opts := []Option{
+		{Model: fixedModel{"slow", Profile{Flops: 1e12}}},
+		{Model: fixedModel{"fast", Profile{Flops: 1e6}}},
+		{Model: fixedModel{"mid", Profile{Flops: 1e9}}},
+	}
+	if got := Choose(opts, DataStats{}, cluster.R3_4XLarge(1)); got != 1 {
+		t.Errorf("Choose = %d, want 1", got)
+	}
+}
+
+func TestChooseSkipsInfeasible(t *testing.T) {
+	opts := []Option{
+		{Model: fixedModel{"infeasible", Profile{Flops: -1}}},
+		{Model: fixedModel{"ok", Profile{Flops: 1e9}}},
+	}
+	if got := Choose(opts, DataStats{}, cluster.R3_4XLarge(1)); got != 1 {
+		t.Errorf("Choose = %d, want 1", got)
+	}
+	// All infeasible: fall back to index 0.
+	all := []Option{
+		{Model: fixedModel{"a", Profile{Flops: -1}}},
+		{Model: fixedModel{"b", Profile{Flops: -1}}},
+	}
+	if got := Choose(all, DataStats{}, cluster.R3_4XLarge(1)); got != 0 {
+		t.Errorf("all-infeasible Choose = %d, want 0", got)
+	}
+}
+
+func TestDataStatsHelpers(t *testing.T) {
+	dense := DataStats{Dim: 100, Sparsity: 1}
+	if dense.AvgNNZ() != 100 {
+		t.Errorf("dense AvgNNZ = %g", dense.AvgNNZ())
+	}
+	if dense.IsSparse() {
+		t.Error("dense reported sparse")
+	}
+	sparse := DataStats{Dim: 1000, Sparsity: 0.01}
+	if sparse.AvgNNZ() != 10 {
+		t.Errorf("sparse AvgNNZ = %g", sparse.AvgNNZ())
+	}
+	if !sparse.IsSparse() {
+		t.Error("1% density not reported sparse")
+	}
+	// Degenerate sparsity values fall back to dense.
+	if (DataStats{Dim: 10, Sparsity: 0}).AvgNNZ() != 10 {
+		t.Error("zero sparsity should fall back to Dim")
+	}
+}

@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"sync"
+)
+
+// CachePolicy decides which intermediate datasets stay in cluster memory.
+// Implementations reproduce the three strategies compared in Figure 10 of
+// the paper: the KeystoneML greedy pinned set, LRU (Spark's default), and
+// the rule-based "cache Estimator results only" baseline.
+type CachePolicy interface {
+	// Admit is called before storing id with the given size; it returns
+	// true if the entry may enter the cache. The policy may evict other
+	// entries (via the manager callback) to make room.
+	Admit(id string, size int64) bool
+	// Touch notes an access to id (for recency-based policies).
+	Touch(id string)
+	// Evicted must be invoked by the manager when it removes id.
+	Evicted(id string)
+}
+
+// CacheManager stores materialized node outputs under a byte budget. It is
+// the "additional cache-management layer aware of the multiple jobs that
+// comprise a pipeline" described in Section 5 of the paper.
+type CacheManager struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	entries map[string]*cacheEntry
+	order   []string // insertion/recency order, oldest first
+	policy  CachePolicy
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	value any
+	size  int64
+}
+
+// NewCacheManager creates a manager with the given byte budget. A
+// non-positive budget means unlimited. If policy is nil, PinnedSetPolicy
+// with an empty pin set is used (nothing admitted).
+func NewCacheManager(budget int64, policy CachePolicy) *CacheManager {
+	if policy == nil {
+		policy = NewLRUPolicy()
+	}
+	return &CacheManager{
+		budget:  budget,
+		entries: make(map[string]*cacheEntry),
+		policy:  policy,
+	}
+}
+
+// Get returns the cached value for id, if present.
+func (m *CacheManager) Get(id string) (any, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[id]
+	if !ok {
+		m.misses++
+		return nil, false
+	}
+	m.hits++
+	m.policy.Touch(id)
+	m.touchOrder(id)
+	return e.value, true
+}
+
+// Put offers a value to the cache. The policy decides admission; if the
+// budget would be exceeded, least-recently-used entries are evicted until
+// the value fits (or the value itself is rejected when larger than the
+// whole budget).
+func (m *CacheManager) Put(id string, value any, size int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.entries[id]; ok {
+		return true // already cached
+	}
+	if !m.policy.Admit(id, size) {
+		return false
+	}
+	if m.budget > 0 {
+		if size > m.budget {
+			return false // can never fit
+		}
+		for m.used+size > m.budget && len(m.order) > 0 {
+			m.evictOldestLocked()
+		}
+		if m.used+size > m.budget {
+			return false
+		}
+	}
+	m.entries[id] = &cacheEntry{value: value, size: size}
+	m.order = append(m.order, id)
+	m.used += size
+	return true
+}
+
+// Remove drops id from the cache if present.
+func (m *CacheManager) Remove(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.removeLocked(id)
+}
+
+// Clear empties the cache, keeping statistics.
+func (m *CacheManager) Clear() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id := range m.entries {
+		m.policy.Evicted(id)
+	}
+	m.entries = make(map[string]*cacheEntry)
+	m.order = nil
+	m.used = 0
+}
+
+// Used returns the bytes currently cached.
+func (m *CacheManager) Used() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// Stats returns cumulative hit/miss/eviction counters.
+func (m *CacheManager) Stats() (hits, misses, evictions int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses, m.evictions
+}
+
+func (m *CacheManager) evictOldestLocked() {
+	if len(m.order) == 0 {
+		return
+	}
+	oldest := m.order[0]
+	m.removeLocked(oldest)
+	m.evictions++
+}
+
+func (m *CacheManager) removeLocked(id string) {
+	e, ok := m.entries[id]
+	if !ok {
+		return
+	}
+	delete(m.entries, id)
+	m.used -= e.size
+	for i, o := range m.order {
+		if o == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.policy.Evicted(id)
+}
+
+func (m *CacheManager) touchOrder(id string) {
+	for i, o := range m.order {
+		if o == id {
+			m.order = append(append(m.order[:i], m.order[i+1:]...), id)
+			return
+		}
+	}
+}
+
+// PinnedSetPolicy admits exactly the node ids chosen in advance by the
+// greedy materialization algorithm (Algorithm 1). Everything else is
+// rejected, so the pinned outputs can never be evicted by large
+// non-reused intermediates.
+type PinnedSetPolicy struct {
+	mu     sync.Mutex
+	pinned map[string]bool
+}
+
+// NewPinnedSetPolicy pins the given ids.
+func NewPinnedSetPolicy(ids []string) *PinnedSetPolicy {
+	p := &PinnedSetPolicy{pinned: make(map[string]bool, len(ids))}
+	for _, id := range ids {
+		p.pinned[id] = true
+	}
+	return p
+}
+
+// Admit implements CachePolicy.
+func (p *PinnedSetPolicy) Admit(id string, _ int64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pinned[id]
+}
+
+// Touch implements CachePolicy.
+func (p *PinnedSetPolicy) Touch(string) {}
+
+// Evicted implements CachePolicy.
+func (p *PinnedSetPolicy) Evicted(string) {}
+
+// LRUPolicy admits everything; recency ordering and eviction are handled
+// by the manager. It reproduces Spark's default storage behaviour,
+// including the implicit admission-control quirk the paper observes (an
+// object bigger than the budget is simply not admitted).
+type LRUPolicy struct{}
+
+// NewLRUPolicy returns an LRU admission policy.
+func NewLRUPolicy() *LRUPolicy { return &LRUPolicy{} }
+
+// Admit implements CachePolicy.
+func (*LRUPolicy) Admit(string, int64) bool { return true }
+
+// Touch implements CachePolicy.
+func (*LRUPolicy) Touch(string) {}
+
+// Evicted implements CachePolicy.
+func (*LRUPolicy) Evicted(string) {}
+
+// RuleBasedPolicy admits only ids registered as Estimator outputs — the
+// "sensible rule" baseline from Section 5.4 (models are cheap to hold and
+// expensive to recompute), which misses reuse of featurized data.
+type RuleBasedPolicy struct {
+	mu        sync.Mutex
+	estimator map[string]bool
+}
+
+// NewRuleBasedPolicy marks the given ids as estimator outputs.
+func NewRuleBasedPolicy(estimatorIDs []string) *RuleBasedPolicy {
+	p := &RuleBasedPolicy{estimator: make(map[string]bool, len(estimatorIDs))}
+	for _, id := range estimatorIDs {
+		p.estimator[id] = true
+	}
+	return p
+}
+
+// Admit implements CachePolicy.
+func (p *RuleBasedPolicy) Admit(id string, _ int64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.estimator[id]
+}
+
+// Touch implements CachePolicy.
+func (p *RuleBasedPolicy) Touch(string) {}
+
+// Evicted implements CachePolicy.
+func (p *RuleBasedPolicy) Evicted(string) {}

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCacheManagerConcurrentAccess hammers the cache from many
+// goroutines; the manager must stay consistent (no panics, accounting
+// stays within budget).
+func TestCacheManagerConcurrentAccess(t *testing.T) {
+	m := NewCacheManager(10_000, NewLRUPolicy())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%40)
+				if i%3 == 0 {
+					m.Put(key, i, 500)
+				} else if i%7 == 0 {
+					m.Remove(key)
+				} else {
+					m.Get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Used() > 10_000 {
+		t.Errorf("cache over budget after concurrent access: %d", m.Used())
+	}
+	if m.Used() < 0 {
+		t.Errorf("negative usage: %d", m.Used())
+	}
+}
+
+// TestConcurrentMapsShareNoState runs two contexts over the same
+// collection concurrently; results must be independent and correct.
+func TestConcurrentMapsShareNoState(t *testing.T) {
+	items := make([]any, 500)
+	for i := range items {
+		items[i] = i
+	}
+	c := FromSlice(items, 8)
+	var wg sync.WaitGroup
+	results := make([]*Collection, 4)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ctx := NewContext(2)
+			results[r] = ctx.Map(c, func(x any) any { return x.(int) * (r + 1) })
+		}(r)
+	}
+	wg.Wait()
+	for r, res := range results {
+		for i, v := range res.Collect() {
+			if v.(int) != i*(r+1) {
+				t.Fatalf("run %d corrupted at %d: %v", r, i, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,488 @@
+package image
+
+import (
+	"fmt"
+	"math"
+
+	"keystoneml/internal/core"
+	"keystoneml/internal/cost"
+	"keystoneml/internal/engine"
+	"keystoneml/internal/linalg"
+)
+
+// GrayscaleOp returns the Grayscale transformer (Table 4's GrayScale).
+func GrayscaleOp() core.Op[*Image, *Image] {
+	return core.FuncOp("image.grayscale", Grayscale)
+}
+
+// SIFTParams configures the dense SIFT-style descriptor extractor.
+type SIFTParams struct {
+	// CellSize is the spatial bin edge in pixels (default 4; descriptors
+	// cover 4x4 cells = 16*CellSize² pixels).
+	CellSize int
+	// Stride is the sampling step between descriptor centers (default 8).
+	Stride int
+	// Bins is the number of orientation bins (default 8, giving the
+	// classic 4*4*8 = 128-dim descriptor).
+	Bins int
+}
+
+func (p SIFTParams) withDefaults() SIFTParams {
+	if p.CellSize <= 0 {
+		p.CellSize = 4
+	}
+	if p.Stride <= 0 {
+		p.Stride = 8
+	}
+	if p.Bins <= 0 {
+		p.Bins = 8
+	}
+	return p
+}
+
+// SIFT extracts dense SIFT-style descriptors from a grayscale image: a
+// grid of local gradient-orientation histograms over 4x4 cells, L2
+// normalized. It is a faithful-shape substitute for Lowe's SIFT (the
+// paper links against an optimized native implementation); the descriptor
+// dimensionality (128) and locality structure match.
+type SIFT struct {
+	Params SIFTParams
+}
+
+// Name implements core.TransformOp.
+func (s *SIFT) Name() string { return "image.sift" }
+
+// Apply maps *Image -> [][]float64 (one descriptor per grid position).
+func (s *SIFT) Apply(in any) any {
+	im, ok := in.(*Image)
+	if !ok {
+		panic(fmt.Sprintf("image: SIFT expects *Image, got %T", in))
+	}
+	if im.Channels != 1 {
+		im = Grayscale(im)
+	}
+	p := s.Params.withDefaults()
+	gx, gy := Gradients(im)
+	w, h := im.Width, im.Height
+	patch := 4 * p.CellSize
+	var descs [][]float64
+	for py := 0; py+patch <= h; py += p.Stride {
+		for px := 0; px+patch <= w; px += p.Stride {
+			desc := make([]float64, 4*4*p.Bins)
+			for dy := 0; dy < patch; dy++ {
+				for dx := 0; dx < patch; dx++ {
+					x, y := px+dx, py+dy
+					g, o := gx[y*w+x], gy[y*w+x]
+					mag := math.Hypot(g, o)
+					if mag == 0 {
+						continue
+					}
+					ang := math.Atan2(o, g) + math.Pi // [0, 2π]
+					bin := int(ang / (2 * math.Pi) * float64(p.Bins))
+					if bin >= p.Bins {
+						bin = p.Bins - 1
+					}
+					cell := (dy/p.CellSize)*4 + dx/p.CellSize
+					desc[cell*p.Bins+bin] += mag
+				}
+			}
+			linalg.Normalize(desc)
+			descs = append(descs, desc)
+		}
+	}
+	return descs
+}
+
+// NewSIFTOp wraps SIFT with pipeline types.
+func NewSIFTOp(params SIFTParams) core.Op[*Image, [][]float64] {
+	return core.NewOp[*Image, [][]float64](&SIFT{Params: params})
+}
+
+// LCS extracts local color statistic descriptors: per-patch per-channel
+// mean and standard deviation on a dense grid, the LCS operator of the
+// ImageNet pipeline.
+type LCS struct {
+	PatchSize int // default 6
+	Stride    int // default 8
+}
+
+// Name implements core.TransformOp.
+func (l *LCS) Name() string { return "image.lcs" }
+
+// Apply maps *Image -> [][]float64.
+func (l *LCS) Apply(in any) any {
+	im, ok := in.(*Image)
+	if !ok {
+		panic(fmt.Sprintf("image: LCS expects *Image, got %T", in))
+	}
+	ps := l.PatchSize
+	if ps <= 0 {
+		ps = 6
+	}
+	st := l.Stride
+	if st <= 0 {
+		st = 8
+	}
+	var descs [][]float64
+	for py := 0; py+ps <= im.Height; py += st {
+		for px := 0; px+ps <= im.Width; px += st {
+			desc := make([]float64, 2*im.Channels)
+			for c := 0; c < im.Channels; c++ {
+				var sum, sum2 float64
+				for dy := 0; dy < ps; dy++ {
+					for dx := 0; dx < ps; dx++ {
+						v := im.At(px+dx, py+dy, c)
+						sum += v
+						sum2 += v * v
+					}
+				}
+				n := float64(ps * ps)
+				mean := sum / n
+				desc[2*c] = mean
+				desc[2*c+1] = math.Sqrt(math.Max(0, sum2/n-mean*mean))
+			}
+			descs = append(descs, desc)
+		}
+	}
+	return descs
+}
+
+// NewLCSOp wraps LCS with pipeline types.
+func NewLCSOp(patch, stride int) core.Op[*Image, [][]float64] {
+	return core.NewOp[*Image, [][]float64](&LCS{PatchSize: patch, Stride: stride})
+}
+
+// ColumnSampler deterministically subsamples a descriptor set to at most
+// N entries — the Column Sampler nodes feeding PCA and GMM in the
+// Figure 5 DAG.
+type ColumnSampler struct {
+	N    int
+	Seed uint64
+}
+
+// Name implements core.TransformOp.
+func (c *ColumnSampler) Name() string { return "image.columnsample" }
+
+// Apply maps [][]float64 -> [][]float64.
+func (c *ColumnSampler) Apply(in any) any {
+	descs, ok := in.([][]float64)
+	if !ok {
+		panic(fmt.Sprintf("image: ColumnSampler expects [][]float64, got %T", in))
+	}
+	if c.N <= 0 || len(descs) <= c.N {
+		return descs
+	}
+	rng := linalg.NewRNG(c.Seed + uint64(len(descs)))
+	perm := rng.Perm(len(descs))[:c.N]
+	out := make([][]float64, c.N)
+	for i, p := range perm {
+		out[i] = descs[p]
+	}
+	return out
+}
+
+// NewColumnSamplerOp wraps ColumnSampler with pipeline types.
+func NewColumnSamplerOp(n int, seed uint64) core.Op[[][]float64, [][]float64] {
+	return core.NewOp[[][]float64, [][]float64](&ColumnSampler{N: n, Seed: seed})
+}
+
+// Flatten maps a descriptor set to the concatenation of its descriptors —
+// used where a pipeline stage needs flat vectors.
+func Flatten() core.Op[[][]float64, []float64] {
+	return core.FuncOp("image.flatten", func(descs [][]float64) []float64 {
+		var out []float64
+		for _, d := range descs {
+			out = append(out, d...)
+		}
+		return out
+	})
+}
+
+// DescriptorPCA applies a fitted projection to every descriptor in a set
+// (the ReduceDimensions stage of Figure 5 operates on descriptor sets,
+// not flat vectors).
+type DescriptorPCA struct {
+	Inner core.TransformOp // a pca.Projection
+}
+
+// Name implements core.TransformOp.
+func (d *DescriptorPCA) Name() string { return "image.descpca[" + d.Inner.Name() + "]" }
+
+// Apply maps [][]float64 -> [][]float64.
+func (d *DescriptorPCA) Apply(in any) any {
+	descs := in.([][]float64)
+	out := make([][]float64, len(descs))
+	for i, x := range descs {
+		out[i] = d.Inner.Apply(x).([]float64)
+	}
+	return out
+}
+
+// DescriptorPCAEst fits PCA over all descriptors pooled across records and
+// produces a DescriptorPCA transform. It wraps any descriptor-level
+// estimator fitting on []float64 records.
+type DescriptorPCAEst struct {
+	Fitter core.EstimatorOp // e.g. *pca.PCA
+}
+
+// Name implements core.EstimatorOp.
+func (d *DescriptorPCAEst) Name() string { return "image.descpca.est[" + d.Fitter.Name() + "]" }
+
+// Fit implements core.EstimatorOp by flattening descriptor sets into
+// descriptor records before fitting the inner estimator.
+func (d *DescriptorPCAEst) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetch) core.TransformOp {
+	flatten := func() *engine.Collection {
+		c := data()
+		var items []any
+		for _, rec := range c.Collect() {
+			for _, desc := range rec.([][]float64) {
+				items = append(items, desc)
+			}
+		}
+		return engine.FromSlice(items, c.NumPartitions())
+	}
+	inner := d.Fitter.Fit(ctx, flatten, labels)
+	return &DescriptorPCA{Inner: inner}
+}
+
+// Options implements core.Optimizable by delegating to the inner
+// estimator's options when it is optimizable, re-wrapping each physical
+// choice in the descriptor adapter so the operator-level optimizer can
+// pick among PCA implementations behind the descriptor interface.
+func (d *DescriptorPCAEst) Options() []cost.Option {
+	opt, ok := d.Fitter.(core.Optimizable)
+	if !ok {
+		return nil
+	}
+	inner := opt.Options()
+	out := make([]cost.Option, len(inner))
+	for i, o := range inner {
+		est, ok := o.Operator.(core.EstimatorOp)
+		if !ok {
+			continue
+		}
+		out[i] = cost.Option{Model: o.Model, Operator: &DescriptorPCAEst{Fitter: est}}
+	}
+	return out
+}
+
+// Weight implements core.Iterative when the inner estimator is iterative.
+func (d *DescriptorPCAEst) Weight() int {
+	if it, ok := d.Fitter.(core.Iterative); ok {
+		return it.Weight()
+	}
+	return 1
+}
+
+// ZCAWhitener is the ZCA whitening estimator of the CIFAR-10 pipeline: it
+// fits W = U (Λ + εI)^(-1/2) Uᵀ on flat patch vectors and transforms
+// records by centering and rotating.
+type ZCAWhitener struct {
+	Epsilon float64
+}
+
+// Name implements core.EstimatorOp.
+func (z *ZCAWhitener) Name() string { return "image.zca" }
+
+// Fit implements core.EstimatorOp on []float64 records.
+func (z *ZCAWhitener) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetch) core.TransformOp {
+	c := data()
+	items := c.Collect()
+	if len(items) == 0 {
+		panic("image: ZCA on empty input")
+	}
+	d := len(items[0].([]float64))
+	rows := make([][]float64, len(items))
+	for i, it := range items {
+		rows[i] = it.([]float64)
+	}
+	m := linalg.NewMatrixFrom(rows)
+	mean := m.CenterColumns()
+	cov := m.TMul(m).Scale(1 / float64(len(items)))
+	vals, u := linalg.SymEig(cov)
+	eps := z.Epsilon
+	if eps <= 0 {
+		eps = 1e-2
+	}
+	scale := make([]float64, d)
+	for i, v := range vals {
+		scale[i] = 1 / math.Sqrt(math.Max(v, 0)+eps)
+	}
+	w := u.Mul(linalg.Diag(scale)).Mul(u.T())
+	return &zcaTransform{w: w, mean: mean}
+}
+
+type zcaTransform struct {
+	w    *linalg.Matrix
+	mean []float64
+}
+
+func (z *zcaTransform) Name() string { return "model.zca" }
+
+func (z *zcaTransform) Apply(in any) any {
+	x := in.([]float64)
+	centered := make([]float64, len(x))
+	for i, v := range x {
+		centered[i] = v - z.mean[i]
+	}
+	return z.w.MulVec(centered)
+}
+
+// SymmetricRectifier maps x to [max(0, x-alpha), max(0, -x-alpha)]
+// concatenated — the two-sided ReLU of the CIFAR-10 pipeline.
+func SymmetricRectifier(alpha float64) core.Op[[]float64, []float64] {
+	name := fmt.Sprintf("image.symrect[%g]", alpha)
+	return core.FuncOp(name, func(x []float64) []float64 {
+		out := make([]float64, 2*len(x))
+		for i, v := range x {
+			if v-alpha > 0 {
+				out[i] = v - alpha
+			}
+			if -v-alpha > 0 {
+				out[len(x)+i] = -v - alpha
+			}
+		}
+		return out
+	})
+}
+
+// Pooler sums feature-map activations over a PoolSize x PoolSize spatial
+// grid, shrinking an image to (W/Pool) x (H/Pool) with the same channel
+// count.
+type Pooler struct {
+	PoolSize int
+}
+
+// Name implements core.TransformOp.
+func (p *Pooler) Name() string { return "image.pool" }
+
+// Apply maps *Image -> *Image.
+func (p *Pooler) Apply(in any) any {
+	im, ok := in.(*Image)
+	if !ok {
+		panic(fmt.Sprintf("image: Pooler expects *Image, got %T", in))
+	}
+	ps := p.PoolSize
+	if ps <= 0 {
+		ps = 2
+	}
+	ow := im.Width / ps
+	oh := im.Height / ps
+	if ow == 0 || oh == 0 {
+		panic(fmt.Sprintf("image: pool %d too large for %dx%d", ps, im.Width, im.Height))
+	}
+	out := New(ow, oh, im.Channels)
+	for c := 0; c < im.Channels; c++ {
+		src := im.Plane(c)
+		dst := out.Plane(c)
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				var s float64
+				for dy := 0; dy < ps; dy++ {
+					for dx := 0; dx < ps; dx++ {
+						s += src[(y*ps+dy)*im.Width+(x*ps+dx)]
+					}
+				}
+				dst[y*ow+x] = s
+			}
+		}
+	}
+	return out
+}
+
+// NewPoolerOp wraps Pooler with pipeline types.
+func NewPoolerOp(poolSize int) core.Op[*Image, *Image] {
+	return core.NewOp[*Image, *Image](&Pooler{PoolSize: poolSize})
+}
+
+// ImageToVector flattens an image to a feature vector.
+func ImageToVector() core.Op[*Image, []float64] {
+	return core.FuncOp("image.tovector", func(im *Image) []float64 {
+		out := make([]float64, len(im.Pix))
+		copy(out, im.Pix)
+		return out
+	})
+}
+
+// PatchExtractor extracts all PatchSize x PatchSize x C patches at the
+// given stride as flat vectors — the CIFAR-10 pipeline's patch source for
+// ZCA whitening.
+type PatchExtractor struct {
+	PatchSize int
+	Stride    int
+}
+
+// Name implements core.TransformOp.
+func (p *PatchExtractor) Name() string { return "image.patches" }
+
+// Apply maps *Image -> [][]float64.
+func (p *PatchExtractor) Apply(in any) any {
+	im, ok := in.(*Image)
+	if !ok {
+		panic(fmt.Sprintf("image: PatchExtractor expects *Image, got %T", in))
+	}
+	ps := p.PatchSize
+	if ps <= 0 {
+		ps = 6
+	}
+	st := p.Stride
+	if st <= 0 {
+		st = ps
+	}
+	var out [][]float64
+	for py := 0; py+ps <= im.Height; py += st {
+		for px := 0; px+ps <= im.Width; px += st {
+			patch := make([]float64, 0, ps*ps*im.Channels)
+			for c := 0; c < im.Channels; c++ {
+				for dy := 0; dy < ps; dy++ {
+					for dx := 0; dx < ps; dx++ {
+						patch = append(patch, im.At(px+dx, py+dy, c))
+					}
+				}
+			}
+			out = append(out, patch)
+		}
+	}
+	return out
+}
+
+// NewPatchExtractorOp wraps PatchExtractor with pipeline types.
+func NewPatchExtractorOp(patch, stride int) core.Op[*Image, [][]float64] {
+	return core.NewOp[*Image, [][]float64](&PatchExtractor{PatchSize: patch, Stride: stride})
+}
+
+// Windower splits an image into a grid of Window x Window sub-images
+// (Table 4's Windower).
+type Windower struct {
+	Window int
+}
+
+// Name implements core.TransformOp.
+func (w *Windower) Name() string { return "image.windower" }
+
+// Apply maps *Image -> []*Image.
+func (w *Windower) Apply(in any) any {
+	im, ok := in.(*Image)
+	if !ok {
+		panic(fmt.Sprintf("image: Windower expects *Image, got %T", in))
+	}
+	win := w.Window
+	if win <= 0 {
+		win = im.Width / 2
+	}
+	var out []*Image
+	for py := 0; py+win <= im.Height; py += win {
+		for px := 0; px+win <= im.Width; px += win {
+			sub := New(win, win, im.Channels)
+			for c := 0; c < im.Channels; c++ {
+				for dy := 0; dy < win; dy++ {
+					for dx := 0; dx < win; dx++ {
+						sub.Set(dx, dy, c, im.At(px+dx, py+dy, c))
+					}
+				}
+			}
+			out = append(out, sub)
+		}
+	}
+	return out
+}

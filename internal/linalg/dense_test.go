@@ -1,0 +1,218 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("shape = %dx%d, want 2x3", m.Rows, m.Cols)
+	}
+	if m.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %g, want 6", m.At(1, 2))
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Errorf("Set/At mismatch: got %g", m.At(0, 1))
+	}
+	if got := m.Col(2); got[0] != 3 || got[1] != 6 {
+		t.Errorf("Col(2) = %v", got)
+	}
+}
+
+func TestMatrixTranspose(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape = %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if !Equal(m, tr.T(), 0) {
+		t.Error("double transpose != original")
+	}
+}
+
+func TestMatrixMulSmall(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewMatrixFrom([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := NewMatrixFrom([][]float64{{19, 22}, {43, 50}})
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("Mul = %v, want %v", got.Data, want.Data)
+	}
+}
+
+func TestMatrixMulIdentity(t *testing.T) {
+	rng := NewRNG(1)
+	a := rng.GaussianMatrix(17, 9)
+	if !Equal(a.Mul(Identity(9)), a, 1e-12) {
+		t.Error("A*I != A")
+	}
+	if !Equal(Identity(17).Mul(a), a, 1e-12) {
+		t.Error("I*A != A")
+	}
+}
+
+// Property: blocked GEMM agrees with the naive triple loop.
+func TestMulMatchesNaive(t *testing.T) {
+	rng := NewRNG(7)
+	for trial := 0; trial < 20; trial++ {
+		m := 1 + rng.Intn(70)
+		k := 1 + rng.Intn(70)
+		n := 1 + rng.Intn(70)
+		a := rng.GaussianMatrix(m, k)
+		b := rng.GaussianMatrix(k, n)
+		got := a.Mul(b)
+		want := NewMatrix(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for x := 0; x < k; x++ {
+					s += a.At(i, x) * b.At(x, j)
+				}
+				want.Set(i, j, s)
+			}
+		}
+		if !Equal(got, want, 1e-9) {
+			t.Fatalf("trial %d: blocked GEMM != naive for %dx%dx%d", trial, m, k, n)
+		}
+	}
+}
+
+func TestTMulMatchesExplicitTranspose(t *testing.T) {
+	rng := NewRNG(3)
+	a := rng.GaussianMatrix(23, 11)
+	b := rng.GaussianMatrix(23, 7)
+	if !Equal(a.TMul(b), a.T().Mul(b), 1e-9) {
+		t.Error("TMul != T().Mul")
+	}
+}
+
+func TestMulVecAndTMulVec(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got := a.MulVec([]float64{1, -1})
+	want := []float64{-1, -1, -1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("MulVec[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	got = a.TMulVec([]float64{1, 1, 1})
+	want = []float64{9, 12}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("TMulVec[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStacking(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}})
+	b := NewMatrixFrom([][]float64{{3, 4}, {5, 6}})
+	v := VStack(a, b)
+	if v.Rows != 3 || v.Cols != 2 || v.At(2, 1) != 6 {
+		t.Errorf("VStack wrong: %+v", v)
+	}
+	c := NewMatrixFrom([][]float64{{7}, {8}, {9}})
+	h := HStack(v, c)
+	if h.Rows != 3 || h.Cols != 3 || h.At(1, 2) != 8 {
+		t.Errorf("HStack wrong: %+v", h)
+	}
+}
+
+func TestSliceRowsCols(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	r := m.SliceRows(1, 3)
+	if r.Rows != 2 || r.At(0, 0) != 4 {
+		t.Errorf("SliceRows wrong: %+v", r)
+	}
+	c := m.SliceCols(1, 2)
+	if c.Cols != 1 || c.At(2, 0) != 8 {
+		t.Errorf("SliceCols wrong: %+v", c)
+	}
+	// Mutating the slice must not affect the original (copies, not views).
+	r.Set(0, 0, 100)
+	if m.At(1, 0) != 4 {
+		t.Error("SliceRows aliases the original")
+	}
+}
+
+func TestCenterColumns(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 10}, {3, 20}})
+	means := m.CenterColumns()
+	if means[0] != 2 || means[1] != 15 {
+		t.Errorf("means = %v", means)
+	}
+	after := m.ColMeans()
+	for _, v := range after {
+		if math.Abs(v) > 1e-12 {
+			t.Errorf("column mean after centering = %g, want 0", v)
+		}
+	}
+}
+
+func TestMatrixPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"mul mismatch", func() { NewMatrix(2, 3).Mul(NewMatrix(2, 3)) }},
+		{"mulvec mismatch", func() { NewMatrix(2, 3).MulVec(make([]float64, 2)) }},
+		{"add mismatch", func() { NewMatrix(2, 3).Add(NewMatrix(3, 2)) }},
+		{"ragged rows", func() { NewMatrixFrom([][]float64{{1}, {1, 2}}) }},
+		{"slice out of range", func() { NewMatrix(2, 2).SliceRows(0, 5) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", c.name)
+				}
+			}()
+			c.fn()
+		})
+	}
+}
+
+// Property (testing/quick): Frobenius norm is absolutely homogeneous:
+// ||sA|| = |s|*||A||.
+func TestFrobeniusHomogeneity(t *testing.T) {
+	f := func(seed uint64, scale float64) bool {
+		if math.IsNaN(scale) || math.IsInf(scale, 0) || math.Abs(scale) > 1e6 {
+			return true
+		}
+		rng := NewRNG(seed)
+		a := rng.GaussianMatrix(1+rng.Intn(10), 1+rng.Intn(10))
+		n1 := a.FrobeniusNorm() * math.Abs(scale)
+		n2 := a.Clone().Scale(scale).FrobeniusNorm()
+		return math.Abs(n1-n2) <= 1e-9*(1+n1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (testing/quick): (A+B)ᵀ = Aᵀ+Bᵀ.
+func TestTransposeLinearity(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		r, c := 1+rng.Intn(12), 1+rng.Intn(12)
+		a := rng.GaussianMatrix(r, c)
+		b := rng.GaussianMatrix(r, c)
+		lhs := a.Clone().Add(b).T()
+		rhs := a.T().Add(b.T())
+		return Equal(lhs, rhs, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 Cooley-Tukey fast Fourier transform of
+// x, whose length must be a power of two. The transform is unnormalized;
+// IFFT applies the 1/n factor.
+func FFT(x []complex128) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("linalg: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * w
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// IFFT computes the inverse FFT of x in place (length must be a power of
+// two), including the 1/n normalization.
+func IFFT(x []complex128) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	FFT(x)
+	inv := complex(1/float64(n), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * inv
+	}
+}
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// FFT2D computes the 2-D FFT of a matrix of complex values stored row-major
+// with the given dimensions (both powers of two), in place: rows first,
+// then columns.
+func FFT2D(data []complex128, rows, cols int, inverse bool) {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("linalg: FFT2D data length %d != %d*%d", len(data), rows, cols))
+	}
+	op := FFT
+	if inverse {
+		op = IFFT
+	}
+	for r := 0; r < rows; r++ {
+		op(data[r*cols : (r+1)*cols])
+	}
+	col := make([]complex128, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			col[r] = data[r*cols+c]
+		}
+		op(col)
+		for r := 0; r < rows; r++ {
+			data[r*cols+c] = col[r]
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// QRFactors holds the thin QR factorization A = Q R of an m x n matrix
+// with m >= n: Q is m x n with orthonormal columns and R is n x n upper
+// triangular.
+type QRFactors struct {
+	Q *Matrix
+	R *Matrix
+}
+
+// QR computes a thin Householder QR factorization of a (m >= n required).
+// The input matrix is not modified.
+func QR(a *Matrix) *QRFactors {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("linalg: QR requires rows >= cols, got %dx%d", m, n))
+	}
+	r := a.Clone()
+	// vs[k] stores the Householder vector for column k (length m-k).
+	vs := make([][]float64, n)
+	for k := 0; k < n; k++ {
+		// Build the Householder reflector for column k below the diagonal.
+		v := make([]float64, m-k)
+		var norm float64
+		for i := k; i < m; i++ {
+			x := r.At(i, k)
+			v[i-k] = x
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			vs[k] = v // zero column; identity reflector
+			continue
+		}
+		if v[0] >= 0 {
+			v[0] += norm
+		} else {
+			v[0] -= norm
+		}
+		vnorm := Norm2(v)
+		if vnorm > 0 {
+			ScaleInPlace(1/vnorm, v)
+		}
+		vs[k] = v
+		// Apply the reflector to the trailing submatrix: R <- (I - 2vvᵀ)R.
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * r.At(i, j)
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-dot*v[i-k])
+			}
+		}
+	}
+	// Accumulate the thin Q by applying reflectors (in reverse) to I_{m x n}.
+	q := NewMatrix(m, n)
+	for j := 0; j < n; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := n - 1; k >= 0; k-- {
+		v := vs[k]
+		for j := 0; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * q.At(i, j)
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				q.Set(i, j, q.At(i, j)-dot*v[i-k])
+			}
+		}
+	}
+	// Extract the upper-triangular n x n block of R, zeroing round-off below
+	// the diagonal.
+	rr := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			rr.Set(i, j, r.At(i, j))
+		}
+	}
+	return &QRFactors{Q: q, R: rr}
+}
+
+// SolveUpperTriangular solves R x = b for upper-triangular R by back
+// substitution. Singular (zero) diagonal entries produce zero solution
+// components, matching the minimum-norm convention used by the solvers.
+func SolveUpperTriangular(r *Matrix, b []float64) []float64 {
+	n := r.Rows
+	if r.Cols != n || len(b) != n {
+		panic(fmt.Sprintf("linalg: SolveUpperTriangular wants square R and matching b, got %dx%d, len(b)=%d", r.Rows, r.Cols, len(b)))
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		row := r.Row(i)
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		if d := row[i]; d != 0 {
+			x[i] = s / d
+		}
+	}
+	return x
+}
+
+// SolveUpperTriangularMatrix solves R X = B column-by-column.
+func SolveUpperTriangularMatrix(r, b *Matrix) *Matrix {
+	if r.Rows != b.Rows {
+		panic(fmt.Sprintf("linalg: triangular solve shape mismatch R %dx%d, B %dx%d", r.Rows, r.Cols, b.Rows, b.Cols))
+	}
+	x := NewMatrix(r.Cols, b.Cols)
+	col := make([]float64, b.Rows)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < b.Rows; i++ {
+			col[i] = b.At(i, j)
+		}
+		sol := SolveUpperTriangular(r, col)
+		for i, v := range sol {
+			x.Set(i, j, v)
+		}
+	}
+	return x
+}
+
+// LeastSquaresQR solves min_X ||A X - B||_F via thin QR: X = R⁻¹ Qᵀ B.
+// This is the "Local QR / Exact" solver primitive from Table 1.
+func LeastSquaresQR(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("linalg: least squares row mismatch A %dx%d, B %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	f := QR(a)
+	qtb := f.Q.TMul(b) // n x k
+	return SolveUpperTriangularMatrix(f.R, qtb)
+}
+
+// CholeskySolve solves the symmetric positive definite system S X = B via
+// Cholesky factorization. Used for normal-equation solves (AᵀA + λI) X = AᵀB.
+// It returns an error-free solution; a non-positive pivot panics, so callers
+// should regularize first.
+func CholeskySolve(s, b *Matrix) *Matrix {
+	n := s.Rows
+	if s.Cols != n || b.Rows != n {
+		panic(fmt.Sprintf("linalg: CholeskySolve wants square S matching B, got %dx%d, B %dx%d", s.Rows, s.Cols, b.Rows, b.Cols))
+	}
+	// Lower-triangular factor L with S = L Lᵀ.
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := s.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					panic(fmt.Sprintf("linalg: CholeskySolve non-PD pivot %g at %d", sum, i))
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	// Solve L Y = B (forward), then Lᵀ X = Y (backward), per column.
+	x := NewMatrix(n, b.Cols)
+	y := make([]float64, n)
+	for c := 0; c < b.Cols; c++ {
+		for i := 0; i < n; i++ {
+			sum := b.At(i, c)
+			for k := 0; k < i; k++ {
+				sum -= l.At(i, k) * y[k]
+			}
+			y[i] = sum / l.At(i, i)
+		}
+		for i := n - 1; i >= 0; i-- {
+			sum := y[i]
+			for k := i + 1; k < n; k++ {
+				sum -= l.At(k, i) * x.At(k, c)
+			}
+			x.Set(i, c, sum/l.At(i, i))
+		}
+	}
+	return x
+}

@@ -1,0 +1,234 @@
+package linalg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SparseVector is a sparse vector in coordinate form with strictly
+// increasing indices. Dim is the logical dimensionality; Idx/Val hold the
+// non-zero entries.
+type SparseVector struct {
+	Dim int
+	Idx []int
+	Val []float64
+}
+
+// NewSparseVector builds a sparse vector from parallel index/value slices,
+// sorting and merging duplicate indices (values are summed). Zero-valued
+// entries after merging are dropped.
+func NewSparseVector(dim int, idx []int, val []float64) *SparseVector {
+	if len(idx) != len(val) {
+		panic(fmt.Sprintf("linalg: sparse vector idx/val length mismatch %d vs %d", len(idx), len(val)))
+	}
+	type pair struct {
+		i int
+		v float64
+	}
+	pairs := make([]pair, len(idx))
+	for i := range idx {
+		if idx[i] < 0 || idx[i] >= dim {
+			panic(fmt.Sprintf("linalg: sparse index %d out of range [0,%d)", idx[i], dim))
+		}
+		pairs[i] = pair{idx[i], val[i]}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].i < pairs[b].i })
+	sv := &SparseVector{Dim: dim}
+	for _, p := range pairs {
+		if n := len(sv.Idx); n > 0 && sv.Idx[n-1] == p.i {
+			sv.Val[n-1] += p.v
+		} else {
+			sv.Idx = append(sv.Idx, p.i)
+			sv.Val = append(sv.Val, p.v)
+		}
+	}
+	// Drop entries that cancelled to exactly zero.
+	w := 0
+	for r := range sv.Idx {
+		if sv.Val[r] != 0 {
+			sv.Idx[w], sv.Val[w] = sv.Idx[r], sv.Val[r]
+			w++
+		}
+	}
+	sv.Idx, sv.Val = sv.Idx[:w], sv.Val[:w]
+	return sv
+}
+
+// NNZ returns the number of stored non-zero entries.
+func (s *SparseVector) NNZ() int { return len(s.Idx) }
+
+// At returns the value at logical index i (0 if not stored).
+func (s *SparseVector) At(i int) float64 {
+	p := sort.SearchInts(s.Idx, i)
+	if p < len(s.Idx) && s.Idx[p] == i {
+		return s.Val[p]
+	}
+	return 0
+}
+
+// Dense expands the vector to a dense slice of length Dim.
+func (s *SparseVector) Dense() []float64 {
+	out := make([]float64, s.Dim)
+	for p, i := range s.Idx {
+		out[i] = s.Val[p]
+	}
+	return out
+}
+
+// DotDense returns the inner product with a dense vector of length Dim.
+func (s *SparseVector) DotDense(d []float64) float64 {
+	if len(d) != s.Dim {
+		panic(fmt.Sprintf("linalg: sparse-dense dot dim mismatch %d vs %d", s.Dim, len(d)))
+	}
+	var sum float64
+	for p, i := range s.Idx {
+		sum += s.Val[p] * d[i]
+	}
+	return sum
+}
+
+// AddScaledTo accumulates alpha * s into the dense vector d in place.
+func (s *SparseVector) AddScaledTo(alpha float64, d []float64) {
+	if len(d) != s.Dim {
+		panic(fmt.Sprintf("linalg: sparse axpy dim mismatch %d vs %d", s.Dim, len(d)))
+	}
+	for p, i := range s.Idx {
+		d[i] += alpha * s.Val[p]
+	}
+}
+
+// Scale multiplies all stored values by alpha in place and returns s.
+func (s *SparseVector) Scale(alpha float64) *SparseVector {
+	for i := range s.Val {
+		s.Val[i] *= alpha
+	}
+	return s
+}
+
+// Clone returns a deep copy.
+func (s *SparseVector) Clone() *SparseVector {
+	c := &SparseVector{Dim: s.Dim, Idx: make([]int, len(s.Idx)), Val: make([]float64, len(s.Val))}
+	copy(c.Idx, s.Idx)
+	copy(c.Val, s.Val)
+	return c
+}
+
+// SparseMatrix is a CSR (compressed sparse row) matrix. RowPtr has length
+// Rows+1; the non-zeros of row i are ColIdx/Val[RowPtr[i]:RowPtr[i+1]].
+type SparseMatrix struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// NewSparseMatrixFromRows builds a CSR matrix from per-row sparse vectors.
+// All rows must share a dimensionality, which becomes Cols.
+func NewSparseMatrixFromRows(rows []*SparseVector) *SparseMatrix {
+	m := &SparseMatrix{Rows: len(rows), RowPtr: make([]int, len(rows)+1)}
+	if len(rows) > 0 {
+		m.Cols = rows[0].Dim
+	}
+	nnz := 0
+	for _, r := range rows {
+		if r.Dim != m.Cols {
+			panic(fmt.Sprintf("linalg: sparse matrix row dim mismatch %d vs %d", r.Dim, m.Cols))
+		}
+		nnz += r.NNZ()
+	}
+	m.ColIdx = make([]int, 0, nnz)
+	m.Val = make([]float64, 0, nnz)
+	for i, r := range rows {
+		m.RowPtr[i] = len(m.ColIdx)
+		m.ColIdx = append(m.ColIdx, r.Idx...)
+		m.Val = append(m.Val, r.Val...)
+		_ = i
+	}
+	m.RowPtr[len(rows)] = len(m.ColIdx)
+	return m
+}
+
+// NNZ returns the total number of stored non-zeros.
+func (m *SparseMatrix) NNZ() int { return len(m.Val) }
+
+// Density returns NNZ / (Rows*Cols), or 0 for an empty matrix.
+func (m *SparseMatrix) Density() float64 {
+	if m.Rows == 0 || m.Cols == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / (float64(m.Rows) * float64(m.Cols))
+}
+
+// RowView returns the sparse row i without copying.
+func (m *SparseMatrix) RowView(i int) (idx []int, val []float64) {
+	return m.ColIdx[m.RowPtr[i]:m.RowPtr[i+1]], m.Val[m.RowPtr[i]:m.RowPtr[i+1]]
+}
+
+// MulVec computes m * x for a dense x of length Cols.
+func (m *SparseMatrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: sparse MulVec length %d != cols %d", len(x), m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		idx, val := m.RowView(i)
+		var s float64
+		for p, j := range idx {
+			s += val[p] * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TMulVec computes mᵀ * x for a dense x of length Rows.
+func (m *SparseMatrix) TMulVec(x []float64) []float64 {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("linalg: sparse TMulVec length %d != rows %d", len(x), m.Rows))
+	}
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		idx, val := m.RowView(i)
+		for p, j := range idx {
+			out[j] += xi * val[p]
+		}
+	}
+	return out
+}
+
+// MulDense computes m * o where o is dense Cols x k, yielding Rows x k.
+func (m *SparseMatrix) MulDense(o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("linalg: sparse MulDense inner mismatch %dx%d * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := NewMatrix(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		idx, val := m.RowView(i)
+		dst := out.Row(i)
+		for p, j := range idx {
+			v := val[p]
+			src := o.Row(j)
+			for c, b := range src {
+				dst[c] += v * b
+			}
+		}
+	}
+	return out
+}
+
+// Dense expands to a dense matrix.
+func (m *SparseMatrix) Dense() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		idx, val := m.RowView(i)
+		dst := out.Row(i)
+		for p, j := range idx {
+			dst[j] = val[p]
+		}
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSparseVectorConstruction(t *testing.T) {
+	// Unsorted input with a duplicate index that must be merged.
+	sv := NewSparseVector(10, []int{5, 1, 5}, []float64{2, 3, 4})
+	if sv.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", sv.NNZ())
+	}
+	if sv.At(1) != 3 || sv.At(5) != 6 || sv.At(0) != 0 {
+		t.Errorf("values wrong: At(1)=%g At(5)=%g At(0)=%g", sv.At(1), sv.At(5), sv.At(0))
+	}
+	// Entries that cancel to zero are dropped.
+	z := NewSparseVector(4, []int{2, 2}, []float64{1, -1})
+	if z.NNZ() != 0 {
+		t.Errorf("cancelled entry kept: NNZ = %d", z.NNZ())
+	}
+}
+
+func TestSparseVectorDense(t *testing.T) {
+	sv := NewSparseVector(5, []int{0, 4}, []float64{1.5, -2})
+	d := sv.Dense()
+	want := []float64{1.5, 0, 0, 0, -2}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("Dense[%d] = %g, want %g", i, d[i], want[i])
+		}
+	}
+}
+
+func TestSparseVectorDotAndAxpy(t *testing.T) {
+	sv := NewSparseVector(4, []int{1, 3}, []float64{2, 5})
+	d := []float64{10, 20, 30, 40}
+	if got := sv.DotDense(d); got != 2*20+5*40 {
+		t.Errorf("DotDense = %g", got)
+	}
+	acc := make([]float64, 4)
+	sv.AddScaledTo(2, acc)
+	if acc[1] != 4 || acc[3] != 10 || acc[0] != 0 {
+		t.Errorf("AddScaledTo = %v", acc)
+	}
+}
+
+func TestSparseVectorOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range index")
+		}
+	}()
+	NewSparseVector(3, []int{3}, []float64{1})
+}
+
+func TestSparseMatrixAgainstDense(t *testing.T) {
+	rng := NewRNG(21)
+	rows := make([]*SparseVector, 12)
+	for i := range rows {
+		nnz := rng.Intn(6)
+		idx := make([]int, 0, nnz)
+		val := make([]float64, 0, nnz)
+		seen := map[int]bool{}
+		for len(idx) < nnz {
+			j := rng.Intn(9)
+			if !seen[j] {
+				seen[j] = true
+				idx = append(idx, j)
+				val = append(val, rng.Gaussian())
+			}
+		}
+		rows[i] = NewSparseVector(9, idx, val)
+	}
+	sm := NewSparseMatrixFromRows(rows)
+	dm := sm.Dense()
+	x := NewRNG(22).GaussianVector(9)
+	y := NewRNG(22).GaussianVector(12)
+
+	sv := sm.MulVec(x)
+	dv := dm.MulVec(x)
+	for i := range sv {
+		if math.Abs(sv[i]-dv[i]) > 1e-10 {
+			t.Fatalf("MulVec mismatch at %d: %g vs %g", i, sv[i], dv[i])
+		}
+	}
+	st := sm.TMulVec(y)
+	dt := dm.TMulVec(y)
+	for i := range st {
+		if math.Abs(st[i]-dt[i]) > 1e-10 {
+			t.Fatalf("TMulVec mismatch at %d: %g vs %g", i, st[i], dt[i])
+		}
+	}
+	o := NewRNG(23).GaussianMatrix(9, 4)
+	if !Equal(sm.MulDense(o), dm.Mul(o), 1e-10) {
+		t.Error("MulDense mismatch with dense path")
+	}
+}
+
+func TestSparseMatrixDensity(t *testing.T) {
+	rows := []*SparseVector{
+		NewSparseVector(4, []int{0}, []float64{1}),
+		NewSparseVector(4, []int{1, 2}, []float64{1, 1}),
+	}
+	sm := NewSparseMatrixFromRows(rows)
+	if got := sm.Density(); math.Abs(got-3.0/8.0) > 1e-15 {
+		t.Errorf("Density = %g, want 0.375", got)
+	}
+}
+
+// Property (testing/quick): sparse dot == dense dot for random vectors.
+func TestSparseDotMatchesDense(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		dim := 1 + rng.Intn(30)
+		nnz := rng.Intn(dim + 1)
+		idx := rng.Perm(dim)[:nnz]
+		val := rng.GaussianVector(nnz)
+		sv := NewSparseVector(dim, idx, val)
+		d := rng.GaussianVector(dim)
+		return math.Abs(sv.DotDense(d)-Dot(sv.Dense(), d)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	rng := NewRNG(31)
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Gaussian(), rng.Gaussian())
+			orig[i] = x[i]
+		}
+		FFT(x)
+		IFFT(x)
+		for i := range x {
+			if math.Abs(real(x[i])-real(orig[i])) > 1e-9 || math.Abs(imag(x[i])-imag(orig[i])) > 1e-9 {
+				t.Fatalf("n=%d: FFT round trip failed at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	rng := NewRNG(32)
+	n := 16
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Gaussian(), 0)
+	}
+	want := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			want[k] += x[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+	}
+	FFT(x)
+	for k := 0; k < n; k++ {
+		if math.Abs(real(x[k])-real(want[k])) > 1e-9 || math.Abs(imag(x[k])-imag(want[k])) > 1e-9 {
+			t.Fatalf("FFT[%d] = %v, want %v", k, x[k], want[k])
+		}
+	}
+}
+
+func TestFFTNonPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two length")
+		}
+	}()
+	FFT(make([]complex128, 6))
+}
+
+func TestFFT2DRoundTrip(t *testing.T) {
+	rng := NewRNG(33)
+	rows, cols := 8, 16
+	data := make([]complex128, rows*cols)
+	orig := make([]complex128, rows*cols)
+	for i := range data {
+		data[i] = complex(rng.Gaussian(), 0)
+		orig[i] = data[i]
+	}
+	FFT2D(data, rows, cols, false)
+	FFT2D(data, rows, cols, true)
+	for i := range data {
+		if math.Abs(real(data[i])-real(orig[i])) > 1e-9 {
+			t.Fatalf("FFT2D round trip failed at %d", i)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 5: 8, 16: 16, 17: 32, 1000: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(5), NewRNG(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	if NewRNG(5).Uint64() == NewRNG(6).Uint64() {
+		t.Error("different seeds produced identical first values")
+	}
+}
+
+func TestRNGGaussianMoments(t *testing.T) {
+	rng := NewRNG(77)
+	n := 20000
+	v := rng.GaussianVector(n)
+	if m := Mean(v); math.Abs(m) > 0.05 {
+		t.Errorf("gaussian mean = %g, want ~0", m)
+	}
+	if s := Variance(v); math.Abs(s-1) > 0.05 {
+		t.Errorf("gaussian variance = %g, want ~1", s)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	p := NewRNG(8).Perm(50)
+	seen := make([]bool, 50)
+	for _, x := range p {
+		if x < 0 || x >= 50 || seen[x] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[x] = true
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	if got := ArgMax([]float64{1, 5, 3}); got != 1 {
+		t.Errorf("ArgMax = %d", got)
+	}
+	if got := ArgMax(nil); got != -1 {
+		t.Errorf("ArgMax(nil) = %d", got)
+	}
+	top := TopK([]float64{5, 1, 9, 7}, 2)
+	if len(top) != 2 || top[0] != 2 || top[1] != 3 {
+		t.Errorf("TopK = %v", top)
+	}
+	v := []float64{3, 4}
+	if n := Normalize(v); math.Abs(n-5) > 1e-12 || math.Abs(Norm2(v)-1) > 1e-12 {
+		t.Errorf("Normalize: norm=%g, post=%g", n, Norm2(v))
+	}
+	z := []float64{0, 0}
+	Normalize(z) // must not NaN
+	if z[0] != 0 {
+		t.Error("Normalize modified zero vector")
+	}
+}

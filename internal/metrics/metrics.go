@@ -1,0 +1,114 @@
+// Package metrics provides the evaluation measures reported in Table 5 of
+// the paper: classification accuracy, top-k error, and mean average
+// precision, plus squared loss for solver convergence comparisons.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"keystoneml/internal/linalg"
+)
+
+// Accuracy returns the fraction of rows where the argmax of scores
+// matches the true class index.
+func Accuracy(scores [][]float64, truth []int) float64 {
+	if len(scores) != len(truth) {
+		panic(fmt.Sprintf("metrics: %d score rows vs %d labels", len(scores), len(truth)))
+	}
+	if len(scores) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, s := range scores {
+		if linalg.ArgMax(s) == truth[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(scores))
+}
+
+// TopKError returns the fraction of rows whose true class is NOT among
+// the k highest-scoring classes (Top-5 error for ImageNet in Table 5).
+func TopKError(scores [][]float64, truth []int, k int) float64 {
+	if len(scores) != len(truth) {
+		panic(fmt.Sprintf("metrics: %d score rows vs %d labels", len(scores), len(truth)))
+	}
+	if len(scores) == 0 {
+		return 0
+	}
+	miss := 0
+	for i, s := range scores {
+		found := false
+		for _, c := range linalg.TopK(s, k) {
+			if c == truth[i] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			miss++
+		}
+	}
+	return float64(miss) / float64(len(scores))
+}
+
+// MeanAveragePrecision computes macro-averaged AP over classes from
+// per-class scores and binary relevance (truth[i] == class), the VOC
+// measure in Table 5.
+func MeanAveragePrecision(scores [][]float64, truth []int, numClasses int) float64 {
+	if len(scores) == 0 || numClasses == 0 {
+		return 0
+	}
+	var sumAP float64
+	classes := 0
+	for c := 0; c < numClasses; c++ {
+		ap, ok := averagePrecision(scores, truth, c)
+		if ok {
+			sumAP += ap
+			classes++
+		}
+	}
+	if classes == 0 {
+		return 0
+	}
+	return sumAP / float64(classes)
+}
+
+func averagePrecision(scores [][]float64, truth []int, class int) (float64, bool) {
+	type pair struct {
+		score float64
+		rel   bool
+	}
+	pairs := make([]pair, len(scores))
+	npos := 0
+	for i, s := range scores {
+		rel := truth[i] == class
+		if rel {
+			npos++
+		}
+		pairs[i] = pair{score: s[class], rel: rel}
+	}
+	if npos == 0 {
+		return 0, false
+	}
+	sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].score > pairs[b].score })
+	var ap float64
+	hits := 0
+	for i, p := range pairs {
+		if p.rel {
+			hits++
+			ap += float64(hits) / float64(i+1)
+		}
+	}
+	return ap / float64(npos), true
+}
+
+// ArgmaxAll converts score rows to predicted class indices.
+func ArgmaxAll(scores [][]float64) []int {
+	out := make([]int, len(scores))
+	for i, s := range scores {
+		out[i] = linalg.ArgMax(s)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccuracy(t *testing.T) {
+	scores := [][]float64{{0.9, 0.1}, {0.2, 0.8}, {0.6, 0.4}}
+	truth := []int{0, 1, 1}
+	if got := Accuracy(scores, truth); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("accuracy = %g, want 2/3", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}
+
+func TestAccuracyMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Accuracy([][]float64{{1}}, []int{0, 1})
+}
+
+func TestTopKError(t *testing.T) {
+	scores := [][]float64{
+		{0.5, 0.3, 0.2}, // truth 2: not in top-2 -> miss... top2 = {0,1}
+		{0.1, 0.2, 0.7}, // truth 2: top1 -> hit
+	}
+	truth := []int{2, 2}
+	if got := TopKError(scores, truth, 2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("top-2 error = %g, want 0.5", got)
+	}
+	if got := TopKError(scores, truth, 3); got != 0 {
+		t.Errorf("top-3 error = %g, want 0", got)
+	}
+}
+
+func TestMeanAveragePrecisionPerfectRanking(t *testing.T) {
+	// Scores perfectly separate classes: AP = 1 per class.
+	scores := [][]float64{{0.9, 0.1}, {0.8, 0.2}, {0.1, 0.9}, {0.2, 0.8}}
+	truth := []int{0, 0, 1, 1}
+	if got := MeanAveragePrecision(scores, truth, 2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect mAP = %g, want 1", got)
+	}
+}
+
+func TestMeanAveragePrecisionKnownValue(t *testing.T) {
+	// One class, ranking: [rel, non, rel] by score -> AP = (1/1 + 2/3)/2.
+	scores := [][]float64{{0.9}, {0.8}, {0.7}}
+	truth := []int{0, 5, 0} // class 5 never scored; only class 0 counted
+	got := MeanAveragePrecision(scores, truth, 1)
+	want := (1.0 + 2.0/3.0) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("mAP = %g, want %g", got, want)
+	}
+}
+
+func TestMAPSkipsAbsentClasses(t *testing.T) {
+	scores := [][]float64{{0.9, 0.5}, {0.1, 0.4}}
+	truth := []int{0, 0} // class 1 has no positives
+	got := MeanAveragePrecision(scores, truth, 2)
+	if math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("mAP = %g, want 1 (class 1 skipped)", got)
+	}
+}
+
+func TestArgmaxAll(t *testing.T) {
+	got := ArgmaxAll([][]float64{{1, 3, 2}, {5, 0, 0}})
+	if got[0] != 1 || got[1] != 0 {
+		t.Errorf("ArgmaxAll = %v", got)
+	}
+}

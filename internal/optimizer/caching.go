@@ -1,0 +1,209 @@
+package optimizer
+
+import (
+	"sort"
+	"strconv"
+
+	"keystoneml/internal/core"
+)
+
+// executionCounts computes, for every reachable node, how many times its
+// computation will run under a given cache set. This is the T(v)/C(v)
+// recurrence of Section 4.3 in execution-count form:
+//
+//	accesses(v) = Σ_{p ∈ π(v)} w(p) · computes(p)   (sink gets 1 external access)
+//	computes(v) = 1 if v is cached, else accesses(v)
+//
+// with two refinements matching the executor's actual semantics: fitted
+// models are memoized, so estimator nodes compute exactly once regardless
+// of caching (it is their *inputs* that are refetched w times per fit),
+// and an estimator accesses its label dependency only once per fit.
+func executionCounts(g *core.Graph, cached map[int]bool) map[int]float64 {
+	order := g.Topological()
+	accesses := make(map[int]float64, len(order))
+	computes := make(map[int]float64, len(order))
+	accesses[g.Sink.ID] += 1 // the pipeline output is consumed once
+
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		a := accesses[v.ID]
+		var comp float64
+		switch v.Kind {
+		case core.KindEstimator:
+			comp = 1
+		case core.KindSource, core.KindLabels:
+			comp = a // free: bound input collections; t(v) = 0
+		default:
+			if cached[v.ID] {
+				comp = min(a, 1)
+			} else {
+				comp = a
+			}
+		}
+		computes[v.ID] = comp
+		switch v.Kind {
+		case core.KindEstimator:
+			w := float64(v.Weight())
+			accesses[v.Deps[0].ID] += w * comp
+			if len(v.Deps) > 1 {
+				accesses[v.Deps[1].ID] += comp
+			}
+		case core.KindApplyModel:
+			// Deps[0] is the estimator (model access, free); Deps[1] is data.
+			accesses[v.Deps[1].ID] += comp
+		default:
+			for _, d := range v.Deps {
+				accesses[d.ID] += comp
+			}
+		}
+	}
+	return computes
+}
+
+// EstRuntime estimates total pipeline execution time (seconds) under a
+// cache set, using the profile's per-node local times: Σ_v t(v)·computes(v).
+func EstRuntime(g *core.Graph, prof *Profile, cached map[int]bool) float64 {
+	computes := executionCounts(g, cached)
+	var total float64
+	for id, c := range computes {
+		if np, ok := prof.Nodes[id]; ok {
+			total += np.TimeSec * c
+		}
+	}
+	return total
+}
+
+// cacheable reports whether a node's output may be materialized: sources
+// and labels are already in memory, and estimator nodes produce models
+// (memoized separately), so only data-producing operator nodes qualify.
+func cacheable(n *core.Node) bool {
+	switch n.Kind {
+	case core.KindTransform, core.KindGather, core.KindApplyModel:
+		return true
+	default:
+		return false
+	}
+}
+
+// GreedyCacheSet is Algorithm 1: starting from an empty cache set, it
+// repeatedly adds the node whose materialization most reduces estimated
+// runtime while fitting in the remaining memory, until no node improves
+// the estimate or memory is exhausted. memBudget <= 0 means unlimited.
+func GreedyCacheSet(g *core.Graph, prof *Profile, memBudget int64) []int {
+	cached := make(map[int]bool)
+	memLeft := memBudget
+	current := EstRuntime(g, prof, cached)
+	var result []int
+	candidates := cacheCandidates(g, prof)
+	for {
+		best := -1
+		bestTime := current
+		for _, id := range candidates {
+			if cached[id] {
+				continue
+			}
+			np := prof.Nodes[id]
+			if memBudget > 0 && np.SizeBytes > memLeft {
+				continue
+			}
+			cached[id] = true
+			t := EstRuntime(g, prof, cached)
+			delete(cached, id)
+			if t < bestTime-1e-12 {
+				best = id
+				bestTime = t
+			}
+		}
+		if best < 0 {
+			break
+		}
+		cached[best] = true
+		memLeft -= prof.Nodes[best].SizeBytes
+		current = bestTime
+		result = append(result, best)
+	}
+	sort.Ints(result)
+	return result
+}
+
+// ExactCacheSet brute-forces the optimal cache set for small DAGs (used
+// in tests to validate the greedy heuristic; the paper rejects ILP
+// solving at optimization time as too slow, which exhaustive search
+// confirms — it is exponential in the candidate count).
+func ExactCacheSet(g *core.Graph, prof *Profile, memBudget int64) ([]int, float64) {
+	candidates := cacheCandidates(g, prof)
+	if len(candidates) > 20 {
+		panic("optimizer: ExactCacheSet limited to 20 candidates")
+	}
+	bestTime := EstRuntime(g, prof, map[int]bool{})
+	var bestSet []int
+	for mask := 0; mask < 1<<len(candidates); mask++ {
+		var size int64
+		cached := make(map[int]bool)
+		for b, id := range candidates {
+			if mask&(1<<b) != 0 {
+				cached[id] = true
+				size += prof.Nodes[id].SizeBytes
+			}
+		}
+		if memBudget > 0 && size > memBudget {
+			continue
+		}
+		t := EstRuntime(g, prof, cached)
+		if t < bestTime {
+			bestTime = t
+			bestSet = bestSet[:0]
+			for id := range cached {
+				bestSet = append(bestSet, id)
+			}
+		}
+	}
+	sort.Ints(bestSet)
+	return bestSet, bestTime
+}
+
+func cacheCandidates(g *core.Graph, prof *Profile) []int {
+	var out []int
+	for _, n := range g.Topological() {
+		if cacheable(n) && prof.Nodes[n.ID] != nil {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// EstimatorInputIDs returns the data-dependency node IDs of every
+// estimator — the "cache Estimator results" rule-based baseline caches the
+// estimator *outputs*; this helper also powers reporting.
+func EstimatorInputIDs(g *core.Graph) []int {
+	var out []int
+	for _, n := range g.Topological() {
+		if n.Kind == core.KindEstimator {
+			out = append(out, n.Deps[0].ID)
+		}
+	}
+	return out
+}
+
+// ApplyModelIDs returns the IDs of model-application nodes: the
+// rule-based policy treats these (the results of Estimators applied to
+// data, i.e. what a fitted model produces) as its cacheable set.
+func ApplyModelIDs(g *core.Graph) []int {
+	var out []int
+	for _, n := range g.Topological() {
+		if n.Kind == core.KindApplyModel {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// CacheKeys converts node IDs to engine cache keys (the executor's
+// keyspace).
+func CacheKeys(ids []int) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = "node:" + strconv.Itoa(id)
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"keystoneml/internal/core"
+)
+
+// CSE performs common sub-expression elimination on the pipeline DAG
+// (Section 4.2): structurally identical nodes — same kind, same operator
+// name, same (canonicalized) dependencies — are merged so shared work like
+// "tokenize the training data" feeding both the vocabulary estimator and
+// the featurizer executes once. Operators must encode distinguishing
+// parameters in Name() (all standard-library operators do), which is what
+// makes name equality a sound proxy for operator equality given that
+// transformers are deterministic and side-effect free.
+//
+// CSE rewrites Deps pointers in place and returns the number of nodes
+// eliminated; unreachable duplicates simply drop out of the topological
+// traversal.
+func CSE(g *core.Graph) int {
+	// Iterate to a fixpoint: merging two nodes can make their consumers
+	// structurally identical in turn.
+	eliminated := 0
+	for {
+		canonical := make(map[string]*core.Node)
+		remap := make(map[int]*core.Node)
+		for _, n := range g.Topological() {
+			// Canonicalize deps first (parents precede children in topo order).
+			for i, d := range n.Deps {
+				if r, ok := remap[d.ID]; ok {
+					n.Deps[i] = r
+				}
+			}
+			sig := signature(n)
+			if c, ok := canonical[sig]; ok && c != n {
+				remap[n.ID] = c
+				eliminated++
+				continue
+			}
+			canonical[sig] = n
+		}
+		if len(remap) == 0 {
+			return eliminated
+		}
+		// Rewrite all consumers (including the sink) to the canonical nodes.
+		for _, n := range g.Nodes {
+			for i, d := range n.Deps {
+				if r, ok := remap[d.ID]; ok {
+					n.Deps[i] = r
+				}
+			}
+		}
+		if r, ok := remap[g.Sink.ID]; ok {
+			g.Sink = r
+		}
+	}
+}
+
+// signature canonically describes a node's computation.
+func signature(n *core.Node) string {
+	deps := ""
+	for _, d := range n.Deps {
+		deps += fmt.Sprintf(",%d", d.ID)
+	}
+	return fmt.Sprintf("%d|%s|%s", n.Kind, n.OpName(), deps)
+}

@@ -1,0 +1,155 @@
+package optimizer
+
+import (
+	"time"
+
+	"keystoneml/internal/cluster"
+	"keystoneml/internal/core"
+	"keystoneml/internal/engine"
+)
+
+// Level selects how much of the optimizer runs, matching the three
+// configurations compared in Figure 9.
+type Level int
+
+const (
+	// LevelNone executes default physical operators with no caching at
+	// all — the unoptimized baseline.
+	LevelNone Level = iota
+	// LevelPipeline enables whole-pipeline optimizations only (CSE +
+	// automatic materialization) with default physical operators
+	// ("Pipe Only" in Figure 9).
+	LevelPipeline
+	// LevelFull adds operator-level selection on top of the
+	// whole-pipeline optimizations (the full "KeystoneML" configuration).
+	LevelFull
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelNone:
+		return "none"
+	case LevelPipeline:
+		return "pipe-only"
+	default:
+		return "keystoneml"
+	}
+}
+
+// Config parameterizes optimization.
+type Config struct {
+	Level     Level
+	Resources cluster.Resources
+	// MemBudgetBytes is the cluster-wide cache budget for automatic
+	// materialization; zero means unlimited.
+	MemBudgetBytes int64
+	// NumClasses feeds k into the solver cost models.
+	NumClasses int
+	// SampleSizes are the two profiling sample sizes used for linear
+	// extrapolation; defaults to {256, 512} (the paper uses 512/1024).
+	SampleSizes [2]int
+	// Parallelism bounds the execution context; 0 = NumCPU.
+	Parallelism int
+}
+
+func (c Config) samples() (int, int) {
+	s1, s2 := c.SampleSizes[0], c.SampleSizes[1]
+	if s1 <= 0 {
+		s1 = 256
+	}
+	if s2 <= 0 {
+		s2 = 512
+	}
+	if s2 < s1 {
+		s1, s2 = s2, s1
+	}
+	return s1, s2
+}
+
+// Plan is an optimized physical execution plan: the (possibly rewritten)
+// graph, the chosen physical implementation per optimizable node, the
+// materialization set, and the profile that justified those choices.
+type Plan struct {
+	Graph     *core.Graph
+	Chosen    map[int]string // node ID -> selected physical operator name
+	CacheSet  []int          // node IDs to materialize
+	Profile   *Profile
+	Level     Level
+	CSEMerged int
+	// OptimizeTime is the total optimization overhead (sampling +
+	// profiling + planning), Figure 9's "Optimize" stage.
+	OptimizeTime time.Duration
+}
+
+// Optimize builds a physical plan for graph g over the given training
+// data. It mutates g in place (operator substitution, CSE dep rewrites)
+// and returns the plan; at LevelNone it returns an empty plan immediately.
+func Optimize(g *core.Graph, data, labels *engine.Collection, cfg Config) *Plan {
+	plan := &Plan{Graph: g, Chosen: map[int]string{}, Level: cfg.Level}
+	if cfg.Level == LevelNone {
+		return plan
+	}
+	start := time.Now()
+	plan.CSEMerged = CSE(g)
+
+	ctx := engine.NewContext(cfg.Parallelism)
+	fullN := data.Count()
+	s1, s2 := cfg.samples()
+	selectOps := cfg.Level >= LevelFull
+
+	// First (smaller) sample: operator selection + first timing point.
+	run1 := newSampleRun(g, ctx, data.Sample(s1), sampleLabels(labels, data, s1), fullN, cfg, selectOps)
+	run1.run()
+	// Second sample with the chosen operators: second timing point.
+	run2 := newSampleRun(g, ctx, data.Sample(s2), sampleLabels(labels, data, s2), fullN, cfg, false)
+	run2.run()
+
+	prof := &Profile{Nodes: map[int]*NodeProfile{}, SampleN: s2, FullN: fullN}
+	n1 := run1.data.Count()
+	n2 := run2.data.Count()
+	for _, n := range g.Topological() {
+		t1 := run1.localTime[n.ID].Seconds()
+		t2 := run2.localTime[n.ID].Seconds()
+		np := &NodeProfile{
+			Name:       n.OpName(),
+			Kind:       n.Kind,
+			Weight:     n.Weight(),
+			TimeSec:    extrapolate(n1, t1, n2, t2, fullN),
+			InputStats: run1.inStats[n.ID],
+		}
+		if recs := run2.outRecords[n.ID]; len(recs) > 0 {
+			np.OutStats = statsOf(recs, fullN, cfg.NumClasses)
+			np.SizeBytes = np.OutStats.Bytes
+		}
+		prof.Nodes[n.ID] = np
+	}
+	plan.Profile = prof
+	plan.Chosen = run1.chosen
+	plan.CacheSet = GreedyCacheSet(g, prof, cfg.MemBudgetBytes)
+	prof.Elapsed = time.Since(start)
+	plan.OptimizeTime = prof.Elapsed
+	return plan
+}
+
+// sampleLabels samples labels with the same stride Sample uses on data so
+// records stay aligned with their labels.
+func sampleLabels(labels, data *engine.Collection, n int) *engine.Collection {
+	if labels == nil {
+		return nil
+	}
+	return labels.Sample(n)
+}
+
+// Execute runs the plan over the full training data: a pinned-set cache
+// manager holds exactly the materialization set, and the depth-first
+// executor recomputes everything else on demand.
+func (p *Plan) Execute(data, labels *engine.Collection, parallelism int) (map[int]core.TransformOp, *engine.Collection, *core.ExecReport) {
+	ctx := engine.NewContext(parallelism)
+	var cache *engine.CacheManager
+	if p.Level > LevelNone && len(p.CacheSet) > 0 {
+		cache = engine.NewCacheManager(0, engine.NewPinnedSetPolicy(CacheKeys(p.CacheSet)))
+	}
+	ex := core.NewExecutor(p.Graph, ctx, cache, data, labels)
+	return ex.Run()
+}

@@ -1,0 +1,341 @@
+package optimizer
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"keystoneml/internal/cluster"
+	"keystoneml/internal/core"
+	"keystoneml/internal/engine"
+)
+
+// buildChain constructs Input -> t1 -> t2 -> estimator(weight w) -> apply,
+// returning the graph and interesting node IDs.
+func buildChain(w int) (g *core.Graph, t1, t2 int) {
+	p := core.Input[float64]()
+	p1 := core.AndThen(p, core.FuncOp("t1", func(x float64) float64 { return x + 1 }))
+	p2 := core.AndThen(p1, core.FuncOp("t2", func(x float64) float64 { return 2 * x }))
+	est := &weightedEst{w: w}
+	p3 := core.AndThenEstimator(p2, core.NewEst[float64, float64](est))
+	return p3.Graph(), p1.OutputNode().ID, p2.OutputNode().ID
+}
+
+type weightedEst struct{ w int }
+
+func (e *weightedEst) Name() string { return "test.est" }
+func (e *weightedEst) Weight() int  { return e.w }
+func (e *weightedEst) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetch) core.TransformOp {
+	for i := 0; i < e.w; i++ {
+		data()
+	}
+	return core.IdentityOp()
+}
+
+// profileFor fabricates a profile with uniform per-node times and sizes.
+func profileFor(g *core.Graph, timeSec float64, size int64) *Profile {
+	prof := &Profile{Nodes: map[int]*NodeProfile{}, FullN: 1000}
+	for _, n := range g.Topological() {
+		t := timeSec
+		if n.Kind == core.KindSource || n.Kind == core.KindLabels {
+			t = 0
+		}
+		prof.Nodes[n.ID] = &NodeProfile{Name: n.OpName(), Kind: n.Kind, TimeSec: t, SizeBytes: size, Weight: n.Weight()}
+	}
+	return prof
+}
+
+func TestExecutionCountsNoCache(t *testing.T) {
+	g, t1, t2 := buildChain(5)
+	counts := executionCounts(g, map[int]bool{})
+	// Estimator (weight 5) + downstream apply: t2 computed 6 times, t1 too
+	// (chain recomputes all the way down).
+	if counts[t2] != 6 {
+		t.Errorf("t2 computes = %g, want 6", counts[t2])
+	}
+	if counts[t1] != 6 {
+		t.Errorf("t1 computes = %g, want 6", counts[t1])
+	}
+}
+
+func TestExecutionCountsWithCache(t *testing.T) {
+	g, t1, t2 := buildChain(5)
+	counts := executionCounts(g, map[int]bool{t2: true})
+	if counts[t2] != 1 {
+		t.Errorf("cached t2 computes = %g, want 1", counts[t2])
+	}
+	if counts[t1] != 1 {
+		t.Errorf("t1 behind cached t2 computes = %g, want 1", counts[t1])
+	}
+}
+
+func TestExecutionCountsMatchExecutor(t *testing.T) {
+	// The analytical model must agree with what the executor actually does.
+	for _, w := range []int{1, 3, 7} {
+		g, t1, t2 := buildChain(w)
+		pred := executionCounts(g, map[int]bool{})
+		items := []any{1.0, 2.0}
+		ex := core.NewExecutor(g, engine.NewContext(1), nil, engine.FromSlice(items, 1), nil)
+		_, _, report := ex.Run()
+		for _, id := range []int{t1, t2} {
+			if got := float64(report.Nodes[id].Computes); got != pred[id] {
+				t.Errorf("w=%d node %d: model %g, executor %g", w, id, pred[id], got)
+			}
+		}
+	}
+}
+
+func TestCachingNeverHurts(t *testing.T) {
+	// Property: adding any single cacheable node never increases the
+	// estimated runtime.
+	g, _, _ := buildChain(4)
+	prof := profileFor(g, 0.1, 100)
+	base := EstRuntime(g, prof, map[int]bool{})
+	for _, n := range g.Topological() {
+		if !cacheable(n) {
+			continue
+		}
+		withV := EstRuntime(g, prof, map[int]bool{n.ID: true})
+		if withV > base+1e-12 {
+			t.Errorf("caching node %d increased runtime %g -> %g", n.ID, base, withV)
+		}
+	}
+}
+
+func TestGreedyBeatsNoCache(t *testing.T) {
+	g, _, _ := buildChain(10)
+	prof := profileFor(g, 0.1, 100)
+	set := GreedyCacheSet(g, prof, 1000)
+	if len(set) == 0 {
+		t.Fatal("greedy cached nothing despite weight-10 estimator")
+	}
+	cached := map[int]bool{}
+	for _, id := range set {
+		cached[id] = true
+	}
+	if EstRuntime(g, prof, cached) >= EstRuntime(g, prof, map[int]bool{}) {
+		t.Error("greedy cache set did not improve estimated runtime")
+	}
+}
+
+func TestGreedyRespectsBudget(t *testing.T) {
+	g, _, _ := buildChain(10)
+	prof := profileFor(g, 0.1, 100)
+	set := GreedyCacheSet(g, prof, 150) // only one 100-byte node fits
+	var total int64
+	for _, id := range set {
+		total += prof.Nodes[id].SizeBytes
+	}
+	if total > 150 {
+		t.Errorf("greedy used %d bytes over budget 150", total)
+	}
+	if len(set) != 1 {
+		t.Errorf("greedy cached %d nodes, want exactly 1 under budget", len(set))
+	}
+}
+
+func TestGreedyPicksHighestValueNodeUnderPressure(t *testing.T) {
+	// Two candidates; the one whose materialization saves more time (just
+	// upstream of the iterative estimator) must win when only one fits.
+	g, t1, t2 := buildChain(10)
+	prof := profileFor(g, 0.1, 100)
+	// Make t1 cheap to compute and t2 expensive.
+	prof.Nodes[t1].TimeSec = 0.001
+	prof.Nodes[t2].TimeSec = 1.0
+	set := GreedyCacheSet(g, prof, 100)
+	if len(set) != 1 || set[0] != t2 {
+		t.Errorf("greedy picked %v, want [%d] (the expensive node)", set, t2)
+	}
+}
+
+func TestGreedyMatchesExactOnChain(t *testing.T) {
+	for _, budget := range []int64{0, 100, 200, 1000} {
+		g, _, _ := buildChain(6)
+		prof := profileFor(g, 0.1, 100)
+		gSet := GreedyCacheSet(g, prof, budget)
+		gCached := map[int]bool{}
+		for _, id := range gSet {
+			gCached[id] = true
+		}
+		gTime := EstRuntime(g, prof, gCached)
+		_, eTime := ExactCacheSet(g, prof, budget)
+		if gTime > eTime*1.0001 {
+			t.Errorf("budget %d: greedy %.4f worse than exact %.4f", budget, gTime, eTime)
+		}
+	}
+}
+
+func TestGreedyNearExactOnBranchingDAG(t *testing.T) {
+	// Branching pipeline: shared prefix, two estimator branches, gather.
+	p := core.Input[[]float64]()
+	shared := core.AndThen(p, core.FuncOp("shared", func(x []float64) []float64 { return x }))
+	b1 := core.AndThenEstimator(shared, core.NewEst[[]float64, []float64](&vecEst{w: 8}))
+	b2 := core.AndThenEstimator(shared, core.NewEst[[]float64, []float64](&vecEst{w: 3}))
+	g := core.Gather(b1, b2).Graph()
+	prof := profileFor(g, 0.1, 100)
+	for _, budget := range []int64{100, 250, 400, 0} {
+		gSet := GreedyCacheSet(g, prof, budget)
+		cached := map[int]bool{}
+		for _, id := range gSet {
+			cached[id] = true
+		}
+		gTime := EstRuntime(g, prof, cached)
+		_, eTime := ExactCacheSet(g, prof, budget)
+		// Greedy is a heuristic; require it within 25% of optimal here
+		// (empirically it is exact on these DAGs).
+		if gTime > eTime*1.25 {
+			t.Errorf("budget %d: greedy %.4f >> exact %.4f", budget, gTime, eTime)
+		}
+	}
+}
+
+type vecEst struct{ w int }
+
+func (e *vecEst) Name() string { return "test.vecest" }
+func (e *vecEst) Weight() int  { return e.w }
+func (e *vecEst) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetch) core.TransformOp {
+	for i := 0; i < e.w; i++ {
+		data()
+	}
+	return core.IdentityOp()
+}
+
+// Property (testing/quick): greedy runtime is monotone non-increasing in
+// the memory budget.
+func TestGreedyMonotoneInBudget(t *testing.T) {
+	g, _, _ := buildChain(7)
+	prof := profileFor(g, 0.05, 100)
+	f := func(b1, b2 uint16) bool {
+		lo, hi := int64(b1), int64(b2)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		run := func(budget int64) float64 {
+			set := GreedyCacheSet(g, prof, budget)
+			cached := map[int]bool{}
+			for _, id := range set {
+				cached[id] = true
+			}
+			return EstRuntime(g, prof, cached)
+		}
+		return run(hi) <= run(lo)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSEMergesIdenticalBranches(t *testing.T) {
+	// Two branches applying the same op to the same input must merge.
+	p := core.Input[[]float64]()
+	b1 := core.AndThen(p, core.FuncOp("same", func(x []float64) []float64 { return x }))
+	b2 := core.AndThen(p, core.FuncOp("same", func(x []float64) []float64 { return x }))
+	g := core.Gather(b1, b2).Graph()
+	before := len(g.Topological())
+	merged := CSE(g)
+	after := len(g.Topological())
+	if merged != 1 {
+		t.Errorf("merged = %d, want 1", merged)
+	}
+	if after >= before {
+		t.Errorf("reachable nodes %d -> %d, want reduction", before, after)
+	}
+	// Execution still works and both gather inputs are identical.
+	ex := core.NewExecutor(g, engine.NewContext(1), nil, engine.FromSlice([]any{[]float64{1, 2}}, 1), nil)
+	_, out, _ := ex.Run()
+	got := out.Collect()[0].([]float64)
+	if len(got) != 4 {
+		t.Errorf("gathered length = %d, want 4", len(got))
+	}
+}
+
+func TestCSEPreservesDistinctOps(t *testing.T) {
+	p := core.Input[[]float64]()
+	b1 := core.AndThen(p, core.FuncOp("opA", func(x []float64) []float64 { return x }))
+	b2 := core.AndThen(p, core.FuncOp("opB", func(x []float64) []float64 { return x }))
+	g := core.Gather(b1, b2).Graph()
+	if merged := CSE(g); merged != 0 {
+		t.Errorf("CSE merged %d distinct nodes", merged)
+	}
+}
+
+func TestCSECascades(t *testing.T) {
+	// a->x->y and a->x'->y' with identical x,x' and y,y': both levels merge.
+	p := core.Input[[]float64]()
+	x1 := core.AndThen(p, core.FuncOp("x", func(v []float64) []float64 { return v }))
+	y1 := core.AndThen(x1, core.FuncOp("y", func(v []float64) []float64 { return v }))
+	x2 := core.AndThen(p, core.FuncOp("x", func(v []float64) []float64 { return v }))
+	y2 := core.AndThen(x2, core.FuncOp("y", func(v []float64) []float64 { return v }))
+	g := core.Gather(y1, y2).Graph()
+	if merged := CSE(g); merged != 2 {
+		t.Errorf("cascaded CSE merged %d, want 2", merged)
+	}
+}
+
+func TestOptimizeEndToEnd(t *testing.T) {
+	g, _, t2 := buildChain(8)
+	items := make([]any, 600)
+	for i := range items {
+		items[i] = float64(i)
+	}
+	data := engine.FromSlice(items, 4)
+	cfg := Config{
+		Level:      LevelFull,
+		Resources:  cluster.R3_4XLarge(4),
+		NumClasses: 2,
+	}
+	plan := Optimize(g, data, nil, cfg)
+	if plan.Profile == nil {
+		t.Fatal("no profile produced")
+	}
+	if plan.Profile.Nodes[t2] == nil {
+		t.Fatal("profile missing node")
+	}
+	if len(plan.CacheSet) == 0 {
+		t.Error("weight-8 estimator input not materialized")
+	}
+	if plan.OptimizeTime <= 0 || plan.OptimizeTime > 10*time.Second {
+		t.Errorf("implausible optimize time %v", plan.OptimizeTime)
+	}
+	// Executing the plan gives the same output as unoptimized execution.
+	_, out, _ := plan.Execute(data, nil, 4)
+	g2, _, _ := buildChain(8)
+	ex := core.NewExecutor(g2, engine.NewContext(4), nil, data, nil)
+	_, out2, _ := ex.Run()
+	a, b := out.Collect(), out2.Collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("optimized output differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestOptimizeLevelNoneIsNoop(t *testing.T) {
+	g, _, _ := buildChain(3)
+	nodesBefore := len(g.Nodes)
+	plan := Optimize(g, engine.FromSlice([]any{1.0}, 1), nil, Config{Level: LevelNone})
+	if len(plan.CacheSet) != 0 || plan.Profile != nil || len(g.Nodes) != nodesBefore {
+		t.Error("LevelNone must not touch the graph")
+	}
+}
+
+func TestExtrapolate(t *testing.T) {
+	// Perfect linearity: t = 2n.
+	if got := extrapolate(100, 200, 200, 400, 1000); got != 2000 {
+		t.Errorf("linear extrapolation = %g, want 2000", got)
+	}
+	// Single point scales proportionally.
+	if got := extrapolate(100, 200, 100, 200, 1000); got != 2000 {
+		t.Errorf("single-point extrapolation = %g, want 2000", got)
+	}
+	// Negative estimates clamp to zero.
+	if got := extrapolate(100, 50, 200, 10, 10000); got != 0 {
+		t.Errorf("clamped extrapolation = %g, want 0", got)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelNone.String() != "none" || LevelPipeline.String() != "pipe-only" || LevelFull.String() != "keystoneml" {
+		t.Error("Level.String wrong")
+	}
+}

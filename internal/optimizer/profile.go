@@ -1,0 +1,142 @@
+// Package optimizer implements KeystoneML's two optimization layers:
+//
+//   - Operator-level (Section 3): choose each Optimizable node's physical
+//     implementation by scoring its CostModels against sampled input
+//     statistics and the cluster resource descriptor.
+//   - Whole-pipeline (Section 4): execution subsampling to build a
+//     pipeline profile, common sub-expression elimination, and automatic
+//     materialization — the greedy Algorithm 1 that picks which
+//     intermediate outputs to cache under a memory budget, with LRU,
+//     rule-based and exact (brute-force) comparators.
+package optimizer
+
+import (
+	"time"
+
+	"keystoneml/internal/core"
+	"keystoneml/internal/cost"
+	"keystoneml/internal/image"
+	"keystoneml/internal/linalg"
+)
+
+// NodeProfile is the per-node entry of the pipeline profile (Section
+// 4.1): estimated full-scale local compute time t(v), output size
+// size(v), iteration weight w(v), and the statistics of the node's input
+// used for operator selection.
+type NodeProfile struct {
+	Name       string
+	Kind       core.NodeKind
+	TimeSec    float64 // t(v): local compute time at full scale
+	SizeBytes  int64   // size(v): output size at full scale
+	Weight     int     // w(v): passes the node makes over its input
+	InputStats cost.DataStats
+	OutStats   cost.DataStats
+}
+
+// Profile is the pipeline profile: extrapolated per-node measurements
+// keyed by node ID.
+type Profile struct {
+	Nodes map[int]*NodeProfile
+	// SampleN is the sample size the profile was measured on; FullN the
+	// dataset size it was extrapolated to.
+	SampleN, FullN int
+	// Elapsed is the profiling overhead (reported in Figure 9's Optimize
+	// stage).
+	Elapsed time.Duration
+}
+
+// inspect derives record-level statistics from a slice of sample records:
+// scalar count per record, nonzero fraction, and bytes.
+func inspect(records []any) (dim int64, sparsity float64, bytesPer float64) {
+	if len(records) == 0 {
+		return 0, 1, 0
+	}
+	var scalars, nnz, bytes int64
+	for _, r := range records {
+		s, z := recordScalars(r)
+		scalars += s
+		nnz += z
+		bytes += core.SizeOf(r)
+	}
+	n := int64(len(records))
+	dim = scalars / n
+	if scalars > 0 {
+		sparsity = float64(nnz) / float64(scalars)
+	} else {
+		sparsity = 1
+	}
+	return dim, sparsity, float64(bytes) / float64(n)
+}
+
+// recordScalars counts the logical scalar slots and nonzeros of a record.
+func recordScalars(r any) (scalars, nnz int64) {
+	switch x := r.(type) {
+	case []float64:
+		for _, v := range x {
+			if v != 0 {
+				nnz++
+			}
+		}
+		return int64(len(x)), nnz
+	case *linalg.SparseVector:
+		return int64(x.Dim), int64(x.NNZ())
+	case [][]float64:
+		for _, d := range x {
+			s, z := recordScalars(d)
+			scalars += s
+			nnz += z
+		}
+		return scalars, nnz
+	case *image.Image:
+		for _, v := range x.Pix {
+			if v != 0 {
+				nnz++
+			}
+		}
+		return int64(len(x.Pix)), nnz
+	case map[string]float64:
+		return int64(len(x)), int64(len(x))
+	case string:
+		return int64(len(x)), int64(len(x))
+	case []string:
+		var n int64
+		for _, s := range x {
+			n += int64(len(s))
+		}
+		return n, n
+	default:
+		return 1, 1
+	}
+}
+
+// statsOf builds DataStats for a sample, extrapolated to fullN records.
+func statsOf(records []any, fullN int, numClasses int) cost.DataStats {
+	dim, sp, bytesPer := inspect(records)
+	return cost.DataStats{
+		N:        int64(fullN),
+		Dim:      dim,
+		K:        int64(numClasses),
+		Sparsity: sp,
+		Bytes:    int64(bytesPer * float64(fullN)),
+	}
+}
+
+// extrapolate fits time(n) = a + b·n through two sample measurements and
+// evaluates at fullN, clamping at non-negative. With a single point it
+// scales linearly. This mirrors the paper's two-sample (512/1024) linear
+// regression, whose runtime estimates were within 15% of actuals.
+func extrapolate(n1 int, t1 float64, n2 int, t2 float64, fullN int) float64 {
+	if n2 == n1 {
+		if n1 == 0 {
+			return 0
+		}
+		return t1 * float64(fullN) / float64(n1)
+	}
+	b := (t2 - t1) / float64(n2-n1)
+	a := t1 - b*float64(n1)
+	est := a + b*float64(fullN)
+	if est < 0 {
+		est = 0
+	}
+	return est
+}

@@ -1,0 +1,166 @@
+package optimizer
+
+import (
+	"time"
+
+	"keystoneml/internal/core"
+	"keystoneml/internal/cost"
+	"keystoneml/internal/engine"
+)
+
+// sampleRun executes the pipeline DAG over a sample, measuring each
+// node's local time and output statistics, and — when selection is
+// enabled — choosing every Optimizable node's physical implementation
+// from its sampled input statistics *before* executing it, exactly the
+// interleaved procedure of Section 4.1. Node outputs are memoized during
+// profiling (the sample is small, recompute semantics are irrelevant
+// here).
+type sampleRun struct {
+	g          *core.Graph
+	ctx        *engine.Context
+	cfg        Config
+	fullN      int
+	data       *engine.Collection
+	labels     *engine.Collection
+	selectOps  bool
+	chosen     map[int]string
+	memo       map[int]*engine.Collection
+	models     map[int]core.TransformOp
+	localTime  map[int]time.Duration
+	outRecords map[int][]any
+	inStats    map[int]cost.DataStats
+}
+
+func newSampleRun(g *core.Graph, ctx *engine.Context, data, labels *engine.Collection, fullN int, cfg Config, selectOps bool) *sampleRun {
+	return &sampleRun{
+		g: g, ctx: ctx, cfg: cfg, fullN: fullN,
+		data: data, labels: labels, selectOps: selectOps,
+		chosen:     make(map[int]string),
+		memo:       make(map[int]*engine.Collection),
+		models:     make(map[int]core.TransformOp),
+		localTime:  make(map[int]time.Duration),
+		outRecords: make(map[int][]any),
+		inStats:    make(map[int]cost.DataStats),
+	}
+}
+
+// run executes every reachable node once in topological order.
+func (s *sampleRun) run() {
+	for _, n := range s.g.Topological() {
+		s.eval(n)
+	}
+}
+
+func (s *sampleRun) eval(n *core.Node) *engine.Collection {
+	if c, ok := s.memo[n.ID]; ok {
+		return c
+	}
+	var out *engine.Collection
+	switch n.Kind {
+	case core.KindSource:
+		out = s.data
+	case core.KindLabels:
+		out = s.labels
+	case core.KindTransform:
+		in := s.eval(n.Deps[0])
+		s.noteInput(n, in)
+		s.maybeSelectTransform(n)
+		start := time.Now()
+		out = s.ctx.Map(in, n.Transform.Apply)
+		s.localTime[n.ID] += time.Since(start)
+	case core.KindGather:
+		ins := make([]*engine.Collection, len(n.Deps))
+		for i, d := range n.Deps {
+			ins[i] = s.eval(d)
+		}
+		s.noteInput(n, ins[0])
+		start := time.Now()
+		out = ins[0]
+		for i := 1; i < len(ins); i++ {
+			out = s.ctx.Zip(out, ins[i], concatFeatures)
+		}
+		s.localTime[n.ID] += time.Since(start)
+	case core.KindEstimator:
+		in := s.eval(n.Deps[0])
+		s.noteInput(n, in)
+		s.maybeSelectEstimator(n)
+		var labelFetch core.Fetch
+		if len(n.Deps) > 1 {
+			lab := s.eval(n.Deps[1])
+			labelFetch = func() *engine.Collection { return lab }
+		}
+		start := time.Now()
+		s.models[n.ID] = n.Estimator.Fit(s.ctx, func() *engine.Collection { return in }, labelFetch)
+		s.localTime[n.ID] += time.Since(start)
+		out = engine.FromSlice(nil, 1) // estimators produce models, not data
+	case core.KindApplyModel:
+		s.eval(n.Deps[0]) // ensure model fitted
+		in := s.eval(n.Deps[1])
+		s.noteInput(n, in)
+		model := s.models[n.Deps[0].ID]
+		start := time.Now()
+		out = s.ctx.Map(in, model.Apply)
+		s.localTime[n.ID] += time.Since(start)
+	}
+	s.memo[n.ID] = out
+	if n.Kind != core.KindEstimator {
+		s.outRecords[n.ID] = out.Collect()
+	}
+	return out
+}
+
+func (s *sampleRun) noteInput(n *core.Node, in *engine.Collection) {
+	if _, ok := s.inStats[n.ID]; ok {
+		return
+	}
+	s.inStats[n.ID] = statsOf(in.Collect(), s.fullN, s.cfg.NumClasses)
+}
+
+// maybeSelectTransform swaps an Optimizable transformer for the
+// cost-model winner under the sampled input statistics.
+func (s *sampleRun) maybeSelectTransform(n *core.Node) {
+	if !s.selectOps {
+		return
+	}
+	opt, ok := n.Transform.(core.Optimizable)
+	if !ok {
+		return
+	}
+	options := opt.Options()
+	if len(options) == 0 {
+		return
+	}
+	idx := cost.Choose(options, s.inStats[n.ID], s.cfg.Resources)
+	if op, ok := options[idx].Operator.(core.TransformOp); ok {
+		n.Transform = op
+		s.chosen[n.ID] = op.Name()
+	}
+}
+
+// maybeSelectEstimator swaps an Optimizable estimator likewise.
+func (s *sampleRun) maybeSelectEstimator(n *core.Node) {
+	if !s.selectOps {
+		return
+	}
+	opt, ok := n.Estimator.(core.Optimizable)
+	if !ok {
+		return
+	}
+	options := opt.Options()
+	if len(options) == 0 {
+		return
+	}
+	idx := cost.Choose(options, s.inStats[n.ID], s.cfg.Resources)
+	if op, ok := options[idx].Operator.(core.EstimatorOp); ok {
+		n.Estimator = op
+		s.chosen[n.ID] = op.Name()
+	}
+}
+
+func concatFeatures(a, b any) any {
+	x := a.([]float64)
+	y := b.([]float64)
+	out := make([]float64, 0, len(x)+len(y))
+	out = append(out, x...)
+	return append(out, y...)
+}

@@ -1,0 +1,326 @@
+// Package pca implements the PCA Estimator with the four physical
+// implementations compared in Table 2 of the KeystoneML paper: exact SVD
+// and approximate truncated SVD, each in local (collect-to-driver) and
+// distributed (per-partition Gram aggregation / distributed randomized
+// range finding) forms, plus the cost models the optimizer uses to choose
+// among them.
+package pca
+
+import (
+	"fmt"
+	"sync"
+
+	"keystoneml/internal/core"
+	"keystoneml/internal/engine"
+	"keystoneml/internal/linalg"
+)
+
+// Projection is the fitted PCA transformer: projects d-vectors onto the
+// top-k principal components (columns of P), after subtracting the
+// training mean.
+type Projection struct {
+	P    *linalg.Matrix // d x k
+	Mean []float64      // training column means
+	Impl string
+}
+
+// Name implements core.TransformOp.
+func (p *Projection) Name() string { return "model.pca[" + p.Impl + "]" }
+
+// Apply projects one dense record.
+func (p *Projection) Apply(in any) any {
+	x, ok := in.([]float64)
+	if !ok {
+		panic(fmt.Sprintf("pca: cannot project %T", in))
+	}
+	d, k := p.P.Rows, p.P.Cols
+	if len(x) != d {
+		panic(fmt.Sprintf("pca: record has %d dims, projection expects %d", len(x), d))
+	}
+	out := make([]float64, k)
+	for i, xi := range x {
+		v := xi - p.Mean[i]
+		if v == 0 {
+			continue
+		}
+		row := p.P.Row(i)
+		for j := 0; j < k; j++ {
+			out[j] += v * row[j]
+		}
+	}
+	return out
+}
+
+// collect gathers a dense collection into one matrix.
+func collect(c *engine.Collection) *linalg.Matrix {
+	items := c.Collect()
+	rows := make([][]float64, len(items))
+	for i, it := range items {
+		r, ok := it.([]float64)
+		if !ok {
+			panic(fmt.Sprintf("pca: expected []float64 records, got %T", it))
+		}
+		rows[i] = r
+	}
+	return linalg.NewMatrixFrom(rows)
+}
+
+// LocalSVD computes an exact PCA by collecting the data to the driver and
+// taking a full SVD of the centered matrix: O(nd²) compute, exact answer.
+type LocalSVD struct {
+	K int
+}
+
+// Name implements core.EstimatorOp.
+func (s *LocalSVD) Name() string { return "pca.svd.local" }
+
+// Fit implements core.EstimatorOp.
+func (s *LocalSVD) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetch) core.TransformOp {
+	a := collect(data())
+	mean := a.CenterColumns()
+	f := linalg.SVD(a).Truncate(s.K)
+	return &Projection{P: f.V, Mean: mean, Impl: s.Name()}
+}
+
+// LocalTSVD computes an approximate PCA on the driver via randomized
+// truncated SVD: O(ndk) compute — the Table 2 winner for small k on
+// datasets that fit on one machine.
+type LocalTSVD struct {
+	K     int
+	Iters int // power iterations; default 2
+	Seed  uint64
+}
+
+// Name implements core.EstimatorOp.
+func (s *LocalTSVD) Name() string { return "pca.tsvd.local" }
+
+func (s *LocalTSVD) iters() int {
+	if s.Iters > 0 {
+		return s.Iters
+	}
+	return 2
+}
+
+// Fit implements core.EstimatorOp.
+func (s *LocalTSVD) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetch) core.TransformOp {
+	a := collect(data())
+	mean := a.CenterColumns()
+	f := linalg.TruncatedSVD(a, s.K, s.iters(), linalg.NewRNG(s.Seed+777))
+	return &Projection{P: f.V, Mean: mean, Impl: s.Name()}
+}
+
+// DistSVD computes an exact distributed PCA: per-partition covariance
+// contributions are tree-aggregated (network O(d²)) and the d x d
+// covariance is eigendecomposed on the driver (compute O(nd²/w + d³)).
+type DistSVD struct {
+	K int
+}
+
+// Name implements core.EstimatorOp.
+func (s *DistSVD) Name() string { return "pca.svd.dist" }
+
+// Fit implements core.EstimatorOp.
+func (s *DistSVD) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetch) core.TransformOp {
+	c := data()
+	n := c.Count()
+	if n == 0 {
+		panic("pca: empty input")
+	}
+	d := len(c.Take(1)[0].([]float64))
+	type partial struct {
+		gram *linalg.Matrix
+		sum  []float64
+		n    int
+	}
+	agg := func(part []any) partial {
+		g := linalg.NewMatrix(d, d)
+		sum := make([]float64, d)
+		for _, it := range part {
+			x := it.([]float64)
+			for i, xi := range x {
+				sum[i] += xi
+				if xi == 0 {
+					continue
+				}
+				row := g.Row(i)
+				for j, xj := range x {
+					row[j] += xi * xj
+				}
+			}
+		}
+		return partial{gram: g, sum: sum, n: len(part)}
+	}
+	partials := make([]partial, c.NumPartitions())
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, ctx.Parallelism)
+	for i := 0; i < c.NumPartitions(); i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			partials[i] = agg(c.Partition(i))
+		}(i)
+	}
+	wg.Wait()
+	gram := linalg.NewMatrix(d, d)
+	sum := make([]float64, d)
+	for _, p := range partials {
+		gram.Add(p.gram)
+		linalg.AxpyInPlace(1, p.sum, sum)
+	}
+	mean := make([]float64, d)
+	for i := range sum {
+		mean[i] = sum[i] / float64(n)
+	}
+	// Covariance = (XᵀX - n μμᵀ) / n.
+	for i := 0; i < d; i++ {
+		row := gram.Row(i)
+		for j := 0; j < d; j++ {
+			row[j] = row[j]/float64(n) - mean[i]*mean[j]
+		}
+	}
+	_, v := linalg.SymEig(gram)
+	return &Projection{P: v.SliceCols(0, min(s.K, d)), Mean: mean, Impl: s.Name()}
+}
+
+// DistTSVD computes an approximate distributed PCA: randomized range
+// finding where each A·Ω product is an aggregate over partitions
+// (compute O(ndk/w), network O(dk) per power iteration).
+type DistTSVD struct {
+	K     int
+	Iters int
+	Seed  uint64
+}
+
+// Name implements core.EstimatorOp.
+func (s *DistTSVD) Name() string { return "pca.tsvd.dist" }
+
+func (s *DistTSVD) iters() int {
+	if s.Iters > 0 {
+		return s.Iters
+	}
+	return 2
+}
+
+// Fit implements core.EstimatorOp.
+func (s *DistTSVD) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetch) core.TransformOp {
+	c := data()
+	n := c.Count()
+	if n == 0 {
+		panic("pca: empty input")
+	}
+	d := len(c.Take(1)[0].([]float64))
+	k := min(s.K, d)
+	p := min(k+8, d)
+	mean := colMeans(ctx, c, d, n)
+
+	rng := linalg.NewRNG(s.Seed + 12345)
+	omega := rng.GaussianMatrix(d, p)
+	// y = (A - 1μᵀ) Ω computed distributively; QR on the driver (y is n x p,
+	// with p small).
+	y := mulCentered(ctx, c, omega, mean)
+	q := linalg.QR(y).Q
+	for it := 0; it < s.iters(); it++ {
+		z := tMulCentered(ctx, c, q, mean) // d x p
+		qz := linalg.QR(z).Q
+		y = mulCentered(ctx, c, qz, mean)
+		q = linalg.QR(y).Q
+	}
+	b := tMulCentered(ctx, c, q, mean).T() // p x d
+	fb := linalg.SVD(b)
+	return &Projection{P: fb.V.SliceCols(0, k), Mean: mean, Impl: s.Name()}
+}
+
+func colMeans(ctx *engine.Context, c *engine.Collection, d, n int) []float64 {
+	sum := ctx.Aggregate(c,
+		func() any { return make([]float64, d) },
+		func(acc, item any) any {
+			a := acc.([]float64)
+			linalg.AxpyInPlace(1, item.([]float64), a)
+			return a
+		},
+		func(a, b any) any {
+			x := a.([]float64)
+			linalg.AxpyInPlace(1, b.([]float64), x)
+			return x
+		},
+	).([]float64)
+	for i := range sum {
+		sum[i] /= float64(n)
+	}
+	return sum
+}
+
+// mulCentered computes (A - 1μᵀ)·M as a distributed row-wise map,
+// returning the stacked n x p result.
+func mulCentered(ctx *engine.Context, c *engine.Collection, m *linalg.Matrix, mean []float64) *linalg.Matrix {
+	rowsC := ctx.Map(c, func(item any) any {
+		x := item.([]float64)
+		out := make([]float64, m.Cols)
+		for i, xi := range x {
+			v := xi - mean[i]
+			if v == 0 {
+				continue
+			}
+			row := m.Row(i)
+			for j := range out {
+				out[j] += v * row[j]
+			}
+		}
+		return out
+	})
+	items := rowsC.Collect()
+	rows := make([][]float64, len(items))
+	for i, it := range items {
+		rows[i] = it.([]float64)
+	}
+	return linalg.NewMatrixFrom(rows)
+}
+
+// tMulCentered computes (A - 1μᵀ)ᵀ·Q via aggregation, returning d x p.
+func tMulCentered(ctx *engine.Context, c *engine.Collection, q *linalg.Matrix, mean []float64) *linalg.Matrix {
+	d := len(mean)
+	p := q.Cols
+	// Each record contributes (x-μ) ⊗ q_row; rows of Q align with record
+	// order, so track a global row offset per partition.
+	offsets := make([]int, c.NumPartitions())
+	off := 0
+	for i := 0; i < c.NumPartitions(); i++ {
+		offsets[i] = off
+		off += len(c.Partition(i))
+	}
+	partials := make([]*linalg.Matrix, c.NumPartitions())
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, ctx.Parallelism)
+	for i := 0; i < c.NumPartitions(); i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			acc := linalg.NewMatrix(d, p)
+			for r, it := range c.Partition(i) {
+				x := it.([]float64)
+				qRow := q.Row(offsets[i] + r)
+				for ii, xi := range x {
+					v := xi - mean[ii]
+					if v == 0 {
+						continue
+					}
+					dst := acc.Row(ii)
+					for j := 0; j < p; j++ {
+						dst[j] += v * qRow[j]
+					}
+				}
+			}
+			partials[i] = acc
+		}(i)
+	}
+	wg.Wait()
+	out := linalg.NewMatrix(d, p)
+	for _, m := range partials {
+		out.Add(m)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package solvers
+
+import (
+	"fmt"
+
+	"keystoneml/internal/engine"
+	"keystoneml/internal/linalg"
+)
+
+// partPair is one partition of paired features and labels, converted to
+// matrix form (features either dense or as sparse rows).
+type partPair struct {
+	dense  *linalg.Matrix         // nil when input is sparse
+	sparse []*linalg.SparseVector // nil when input is dense
+	labels *linalg.Matrix
+}
+
+func (p *partPair) rows() int {
+	if p.dense != nil {
+		return p.dense.Rows
+	}
+	return len(p.sparse)
+}
+
+// pairPartitions zips a feature collection and label collection partition-
+// wise into matrix pairs. Data and labels must share partition structure
+// (they do by construction: labels flow through the DAG label source with
+// the same partitioning as the training input).
+func pairPartitions(data, labels *engine.Collection) []partPair {
+	if data.NumPartitions() != labels.NumPartitions() {
+		panic(fmt.Sprintf("solvers: data has %d partitions, labels %d", data.NumPartitions(), labels.NumPartitions()))
+	}
+	pairs := make([]partPair, data.NumPartitions())
+	for i := range pairs {
+		feat := data.Partition(i)
+		lab := labels.Partition(i)
+		if len(feat) != len(lab) {
+			panic(fmt.Sprintf("solvers: partition %d has %d records but %d labels", i, len(feat), len(lab)))
+		}
+		pairs[i] = makePair(feat, lab)
+	}
+	return pairs
+}
+
+func makePair(feat, lab []any) partPair {
+	var p partPair
+	if len(feat) == 0 {
+		p.labels = linalg.NewMatrix(0, 0)
+		return p
+	}
+	p.labels = labelMatrix(lab)
+	switch feat[0].(type) {
+	case []float64:
+		rows := make([][]float64, len(feat))
+		for i, r := range feat {
+			rows[i] = r.([]float64)
+		}
+		p.dense = linalg.NewMatrixFrom(rows)
+	case *linalg.SparseVector:
+		p.sparse = make([]*linalg.SparseVector, len(feat))
+		for i, r := range feat {
+			p.sparse[i] = r.(*linalg.SparseVector)
+		}
+	default:
+		panic(fmt.Sprintf("solvers: unsupported feature record type %T", feat[0]))
+	}
+	return p
+}
+
+func labelMatrix(lab []any) *linalg.Matrix {
+	rows := make([][]float64, len(lab))
+	for i, r := range lab {
+		y, ok := r.([]float64)
+		if !ok {
+			panic(fmt.Sprintf("solvers: labels must be []float64 vectors, got %T", r))
+		}
+		rows[i] = y
+	}
+	return linalg.NewMatrixFrom(rows)
+}
+
+// dims inspects paired partitions and returns (n, d, k).
+func dims(pairs []partPair) (n, d, k int) {
+	for _, p := range pairs {
+		n += p.rows()
+		if p.dense != nil && p.dense.Rows > 0 {
+			d = p.dense.Cols
+			k = p.labels.Cols
+		}
+		if p.sparse != nil && len(p.sparse) > 0 {
+			d = p.sparse[0].Dim
+			k = p.labels.Cols
+		}
+	}
+	return n, d, k
+}
+
+// squaredLoss computes ||A W - B||_F^2 / n over the paired partitions.
+func squaredLoss(pairs []partPair, w *linalg.Matrix) float64 {
+	var total float64
+	var n int
+	k := w.Cols
+	pred := make([]float64, k)
+	for pi := range pairs {
+		p := &pairs[pi]
+		rows := p.rows()
+		for r := 0; r < rows; r++ {
+			scoreRow(p, r, w, pred)
+			y := p.labels.Row(r)
+			for j := 0; j < k; j++ {
+				diff := pred[j] - y[j]
+				total += diff * diff
+			}
+		}
+		n += rows
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// scoreRow writes W applied to record r of partition p into out.
+func scoreRow(p *partPair, r int, w *linalg.Matrix, out []float64) {
+	for j := range out {
+		out[j] = 0
+	}
+	k := w.Cols
+	if p.dense != nil {
+		x := p.dense.Row(r)
+		for i, xi := range x {
+			if xi == 0 {
+				continue
+			}
+			row := w.Row(i)
+			for j := 0; j < k; j++ {
+				out[j] += xi * row[j]
+			}
+		}
+		return
+	}
+	sv := p.sparse[r]
+	for pos, i := range sv.Idx {
+		xi := sv.Val[pos]
+		row := w.Row(i)
+		for j := 0; j < k; j++ {
+			out[j] += xi * row[j]
+		}
+	}
+}

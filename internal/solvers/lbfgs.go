@@ -1,0 +1,254 @@
+package solvers
+
+import (
+	"math"
+	"sync"
+
+	"keystoneml/internal/core"
+	"keystoneml/internal/engine"
+	"keystoneml/internal/linalg"
+)
+
+// Loss selects the objective the gradient solvers minimize.
+type Loss int
+
+const (
+	// SquareLoss is 1/2n ||AX - B||_F^2 — the objective all Table 1
+	// solvers share.
+	SquareLoss Loss = iota
+	// LogisticLoss is the multinomial logistic objective over one-hot
+	// labels; used by the text-classification pipeline's
+	// LogisticRegression operator.
+	LogisticLoss
+)
+
+// String implements fmt.Stringer.
+func (l Loss) String() string {
+	if l == LogisticLoss {
+		return "logistic"
+	}
+	return "square"
+}
+
+// LBFGS is the limited-memory BFGS gradient solver. Each iteration makes
+// one pass over the (possibly recomputed) input — this is the iterative
+// access pattern the materialization optimizer exists for, so Fit fetches
+// its input once per iteration rather than holding the first
+// materialization. Sparse inputs compute gradients in O(nnz·k) per pass,
+// the property that makes L-BFGS dominate on text workloads (Figure 6).
+type LBFGS struct {
+	Iterations int     // number of passes; default 50
+	History    int     // L-BFGS memory; default 10
+	Lambda     float64 // ridge regularization
+	Objective  Loss
+}
+
+// Name implements core.EstimatorOp.
+func (s *LBFGS) Name() string {
+	if s.Objective == LogisticLoss {
+		return "solver.logistic.lbfgs"
+	}
+	return "solver.lbfgs"
+}
+
+// Weight implements core.Iterative: one pass over the input per iteration.
+func (s *LBFGS) Weight() int { return s.iters() }
+
+func (s *LBFGS) iters() int {
+	if s.Iterations > 0 {
+		return s.Iterations
+	}
+	return 50
+}
+
+func (s *LBFGS) history() int {
+	if s.History > 0 {
+		return s.History
+	}
+	return 10
+}
+
+// Fit implements core.EstimatorOp.
+func (s *LBFGS) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetch) core.TransformOp {
+	lab := labels() // labels are small; hold them across passes
+	var d, k int
+	{
+		probe := pairPartitions(data(), lab)
+		_, d, k = dims(probe)
+	}
+	dim := d * k
+	w := make([]float64, dim)
+	var sHist, yHist [][]float64
+	var prevW, prevG []float64
+
+	for it := 0; it < s.iters(); it++ {
+		pairs := pairPartitions(data(), lab) // one pass: refetch input
+		g, _ := s.gradient(ctx, pairs, w, d, k)
+		gnorm := linalg.Norm2(g)
+		if gnorm < 1e-10 {
+			break
+		}
+		if prevW != nil {
+			sv := make([]float64, dim)
+			yv := make([]float64, dim)
+			for i := range sv {
+				sv[i] = w[i] - prevW[i]
+				yv[i] = g[i] - prevG[i]
+			}
+			if linalg.Dot(sv, yv) > 1e-12 {
+				sHist = append(sHist, sv)
+				yHist = append(yHist, yv)
+				if len(sHist) > s.history() {
+					sHist = sHist[1:]
+					yHist = yHist[1:]
+				}
+			}
+		}
+		dir := twoLoop(g, sHist, yHist)
+		step := 1.0
+		if len(sHist) == 0 {
+			// First iteration: scale so the initial step is modest.
+			step = 1.0 / (1.0 + gnorm)
+		}
+		prevW = linalg.CloneVec(w)
+		prevG = g
+		for i := range w {
+			w[i] -= step * dir[i]
+		}
+	}
+	wm := &linalg.Matrix{Rows: d, Cols: k, Data: w}
+	finalPairs := pairPartitions(data(), lab)
+	return &LinearMapper{W: wm, TrainLoss: squaredLoss(finalPairs, wm), SolverName: s.Name()}
+}
+
+// twoLoop is the standard L-BFGS two-loop recursion producing the search
+// direction H·g, with the Nocedal γ = sᵀy/yᵀy initial Hessian scaling.
+func twoLoop(g []float64, sHist, yHist [][]float64) []float64 {
+	q := linalg.CloneVec(g)
+	m := len(sHist)
+	alpha := make([]float64, m)
+	rho := make([]float64, m)
+	for i := m - 1; i >= 0; i-- {
+		rho[i] = 1.0 / linalg.Dot(yHist[i], sHist[i])
+		alpha[i] = rho[i] * linalg.Dot(sHist[i], q)
+		linalg.AxpyInPlace(-alpha[i], yHist[i], q)
+	}
+	if m > 0 {
+		gamma := linalg.Dot(sHist[m-1], yHist[m-1]) / linalg.Dot(yHist[m-1], yHist[m-1])
+		linalg.ScaleInPlace(gamma, q)
+	}
+	for i := 0; i < m; i++ {
+		beta := rho[i] * linalg.Dot(yHist[i], q)
+		linalg.AxpyInPlace(alpha[i]-beta, sHist[i], q)
+	}
+	return q
+}
+
+// gradient computes the full-batch gradient (flattened d x k) and loss in
+// parallel across partitions, then tree-combines — the treeAggregate
+// pattern whose network cost is the O(i·d·k) term in Table 1.
+func (s *LBFGS) gradient(ctx *engine.Context, pairs []partPair, w []float64, d, k int) ([]float64, float64) {
+	type partial struct {
+		g    []float64
+		loss float64
+		n    int
+	}
+	partials := make([]partial, len(pairs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, ctx.Parallelism)
+	for pi := range pairs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(pi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			p := &pairs[pi]
+			g := make([]float64, d*k)
+			var loss float64
+			pred := make([]float64, k)
+			wm := linalg.Matrix{Rows: d, Cols: k, Data: w}
+			rows := p.rows()
+			for r := 0; r < rows; r++ {
+				scoreRow(p, r, &wm, pred)
+				y := p.labels.Row(r)
+				// residual in-place in pred
+				switch s.Objective {
+				case LogisticLoss:
+					loss += softmaxResidual(pred, y)
+				default:
+					for j := 0; j < k; j++ {
+						pred[j] -= y[j]
+						loss += 0.5 * pred[j] * pred[j]
+					}
+				}
+				// g += x ⊗ residual
+				if p.dense != nil {
+					x := p.dense.Row(r)
+					for i, xi := range x {
+						if xi == 0 {
+							continue
+						}
+						base := i * k
+						for j := 0; j < k; j++ {
+							g[base+j] += xi * pred[j]
+						}
+					}
+				} else {
+					sv := p.sparse[r]
+					for pos, i := range sv.Idx {
+						xi := sv.Val[pos]
+						base := i * k
+						for j := 0; j < k; j++ {
+							g[base+j] += xi * pred[j]
+						}
+					}
+				}
+			}
+			partials[pi] = partial{g: g, loss: loss, n: rows}
+		}(pi)
+	}
+	wg.Wait()
+	total := partial{g: make([]float64, d*k)}
+	for _, p := range partials {
+		if p.g != nil {
+			linalg.AxpyInPlace(1, p.g, total.g)
+		}
+		total.loss += p.loss
+		total.n += p.n
+	}
+	n := float64(total.n)
+	if n == 0 {
+		n = 1
+	}
+	inv := 1.0 / n
+	for i := range total.g {
+		total.g[i] = total.g[i]*inv + s.Lambda*w[i]
+	}
+	return total.g, total.loss * inv
+}
+
+// softmaxResidual converts raw scores to softmax probabilities minus the
+// one-hot label in place, returning the cross-entropy loss contribution.
+func softmaxResidual(scores, y []float64) float64 {
+	maxS := scores[0]
+	for _, v := range scores[1:] {
+		if v > maxS {
+			maxS = v
+		}
+	}
+	var z float64
+	for j, v := range scores {
+		e := math.Exp(v - maxS)
+		scores[j] = e
+		z += e
+	}
+	var loss float64
+	for j := range scores {
+		p := scores[j] / z
+		if y[j] > 0 && p > 1e-15 {
+			loss -= y[j] * math.Log(p)
+		}
+		scores[j] = p - y[j]
+	}
+	return loss
+}

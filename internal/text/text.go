@@ -1,0 +1,176 @@
+// Package text implements the text featurization operators of the
+// paper's Figure 2 pipeline: Trim, LowerCase, Tokenizer, NGramsFeaturizer,
+// TermFrequency, and the CommonSparseFeatures estimator that selects the
+// most frequent n-grams as a sparse vocabulary.
+package text
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"keystoneml/internal/core"
+	"keystoneml/internal/engine"
+	"keystoneml/internal/linalg"
+)
+
+// Trim returns a transformer stripping leading/trailing whitespace.
+func Trim() core.Op[string, string] {
+	return core.FuncOp("text.trim", strings.TrimSpace)
+}
+
+// LowerCase returns a transformer lower-casing documents.
+func LowerCase() core.Op[string, string] {
+	return core.FuncOp("text.lowercase", strings.ToLower)
+}
+
+// Tokenizer returns a transformer splitting documents on whitespace and
+// dropping punctuation-only tokens.
+func Tokenizer() core.Op[string, []string] {
+	return core.FuncOp("text.tokenize", func(doc string) []string {
+		fields := strings.FieldsFunc(doc, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == '\n' || r == '.' || r == ',' ||
+				r == '!' || r == '?' || r == ';' || r == ':' || r == '"' || r == '\''
+		})
+		out := fields[:0]
+		for _, f := range fields {
+			if f != "" {
+				out = append(out, f)
+			}
+		}
+		return out
+	})
+}
+
+// NGrams returns a transformer expanding a token sequence into all
+// n-grams for n in [lo, hi] (joined with '_'), the NGramsFeaturizer(lo to
+// hi) of Figure 2.
+func NGrams(lo, hi int) core.Op[[]string, []string] {
+	if lo < 1 || hi < lo {
+		panic(fmt.Sprintf("text: invalid ngram range [%d,%d]", lo, hi))
+	}
+	name := fmt.Sprintf("text.ngrams[%d-%d]", lo, hi)
+	return core.FuncOp(name, func(tokens []string) []string {
+		var out []string
+		for n := lo; n <= hi; n++ {
+			for i := 0; i+n <= len(tokens); i++ {
+				out = append(out, strings.Join(tokens[i:i+n], "_"))
+			}
+		}
+		return out
+	})
+}
+
+// TermFrequency returns a transformer mapping n-grams to (term, weight)
+// counts with a caller-supplied weighting function applied to the raw
+// count — TermFrequency(x => 1) in Figure 2 is Binary.
+func TermFrequency(weight func(count float64) float64) core.Op[[]string, map[string]float64] {
+	if weight == nil {
+		weight = func(c float64) float64 { return c }
+	}
+	return core.FuncOp("text.termfreq", func(terms []string) map[string]float64 {
+		counts := make(map[string]float64, len(terms))
+		for _, t := range terms {
+			counts[t]++
+		}
+		for t, c := range counts {
+			counts[t] = weight(c)
+		}
+		return counts
+	})
+}
+
+// Binary is the weight function x => 1.
+func Binary(float64) float64 { return 1 }
+
+// Vocabulary is the fitted CommonSparseFeatures transformer: maps term-
+// frequency maps to sparse vectors over the selected vocabulary.
+type Vocabulary struct {
+	Index map[string]int
+	Dim   int
+}
+
+// Name implements core.TransformOp.
+func (v *Vocabulary) Name() string { return "model.vocab" }
+
+// Apply implements core.TransformOp.
+func (v *Vocabulary) Apply(in any) any {
+	tf, ok := in.(map[string]float64)
+	if !ok {
+		panic(fmt.Sprintf("text: vocabulary expects map[string]float64, got %T", in))
+	}
+	idx := make([]int, 0, len(tf))
+	val := make([]float64, 0, len(tf))
+	for term, w := range tf {
+		if i, ok := v.Index[term]; ok {
+			idx = append(idx, i)
+			val = append(val, w)
+		}
+	}
+	return linalg.NewSparseVector(v.Dim, idx, val)
+}
+
+// CommonSparseFeatures is the estimator selecting the numFeatures most
+// frequent terms across the corpus as the featurization vocabulary
+// (CommonSparseFeatures(1e5) in Figure 2). Document frequency is counted
+// distributively with one aggregation pass.
+type CommonSparseFeatures struct {
+	NumFeatures int
+}
+
+// Name implements core.EstimatorOp.
+func (c *CommonSparseFeatures) Name() string { return "text.commonsparse" }
+
+// Fit implements core.EstimatorOp.
+func (c *CommonSparseFeatures) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetch) core.TransformOp {
+	coll := data()
+	counts := ctx.Aggregate(coll,
+		func() any { return make(map[string]float64) },
+		func(acc, item any) any {
+			m := acc.(map[string]float64)
+			for term, w := range item.(map[string]float64) {
+				m[term] += w
+			}
+			return m
+		},
+		func(a, b any) any {
+			x := a.(map[string]float64)
+			for term, w := range b.(map[string]float64) {
+				x[term] += w
+			}
+			return x
+		},
+	).(map[string]float64)
+
+	type tc struct {
+		term string
+		c    float64
+	}
+	all := make([]tc, 0, len(counts))
+	for t, n := range counts {
+		all = append(all, tc{t, n})
+	}
+	// Sort by count descending, term ascending for determinism.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].term < all[j].term
+	})
+	n := c.NumFeatures
+	if n <= 0 || n > len(all) {
+		n = len(all)
+	}
+	index := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		index[all[i].term] = i
+	}
+	return &Vocabulary{Index: index, Dim: max(n, 1)}
+}
+
+// NewCommonSparseFeaturesEst wraps the estimator with pipeline types: it
+// consumes term-frequency maps and emits sparse vectors (typed as `any`
+// so sparse records can feed the solver facade).
+func NewCommonSparseFeaturesEst(numFeatures int) core.Est[map[string]float64, any] {
+	return core.NewEst[map[string]float64, any](&CommonSparseFeatures{NumFeatures: numFeatures})
+}

@@ -1,0 +1,141 @@
+package text
+
+import (
+	"testing"
+
+	"keystoneml/internal/core"
+	"keystoneml/internal/engine"
+	"keystoneml/internal/linalg"
+)
+
+func TestTrimAndLowerCase(t *testing.T) {
+	if got := Trim().Raw().Apply("  Hello ").(string); got != "Hello" {
+		t.Errorf("Trim = %q", got)
+	}
+	if got := LowerCase().Raw().Apply("HeLLo").(string); got != "hello" {
+		t.Errorf("LowerCase = %q", got)
+	}
+}
+
+func TestTokenizer(t *testing.T) {
+	toks := Tokenizer().Raw().Apply("Hello, world! It's  fine.").([]string)
+	want := []string{"Hello", "world", "It", "s", "fine"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v, want %v", toks, want)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", toks, want)
+		}
+	}
+	if got := Tokenizer().Raw().Apply("").([]string); len(got) != 0 {
+		t.Errorf("empty doc tokens = %v", got)
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	grams := NGrams(1, 2).Raw().Apply([]string{"a", "b", "c"}).([]string)
+	want := []string{"a", "b", "c", "a_b", "b_c"}
+	if len(grams) != len(want) {
+		t.Fatalf("ngrams = %v", grams)
+	}
+	for i := range want {
+		if grams[i] != want[i] {
+			t.Fatalf("ngrams = %v, want %v", grams, want)
+		}
+	}
+}
+
+func TestNGramsInvalidRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NGrams(2, 1)
+}
+
+func TestTermFrequency(t *testing.T) {
+	tf := TermFrequency(nil).Raw().Apply([]string{"a", "b", "a"}).(map[string]float64)
+	if tf["a"] != 2 || tf["b"] != 1 {
+		t.Errorf("raw counts = %v", tf)
+	}
+	binary := TermFrequency(Binary).Raw().Apply([]string{"a", "b", "a"}).(map[string]float64)
+	if binary["a"] != 1 || binary["b"] != 1 {
+		t.Errorf("binary counts = %v", binary)
+	}
+}
+
+func TestCommonSparseFeatures(t *testing.T) {
+	docs := []any{
+		map[string]float64{"the": 1, "cat": 1},
+		map[string]float64{"the": 1, "dog": 1},
+		map[string]float64{"the": 1, "cat": 1, "rare": 1},
+	}
+	data := engine.FromSlice(docs, 2)
+	est := &CommonSparseFeatures{NumFeatures: 2}
+	vocab := est.Fit(engine.NewContext(2), func() *engine.Collection { return data }, nil).(*Vocabulary)
+	if vocab.Dim != 2 {
+		t.Fatalf("vocab dim = %d, want 2", vocab.Dim)
+	}
+	// "the" (3) and "cat" (2) are the top-2 terms.
+	if _, ok := vocab.Index["the"]; !ok {
+		t.Error("'the' missing from vocabulary")
+	}
+	if _, ok := vocab.Index["cat"]; !ok {
+		t.Error("'cat' missing from vocabulary")
+	}
+	if _, ok := vocab.Index["rare"]; ok {
+		t.Error("'rare' should not be in a top-2 vocabulary")
+	}
+	sv := vocab.Apply(map[string]float64{"cat": 1, "rare": 1}).(*linalg.SparseVector)
+	if sv.NNZ() != 1 {
+		t.Errorf("featurized nnz = %d, want 1 (rare dropped)", sv.NNZ())
+	}
+	if sv.Dim != 2 {
+		t.Errorf("featurized dim = %d", sv.Dim)
+	}
+}
+
+func TestVocabularyDeterministicTieBreak(t *testing.T) {
+	docs := []any{map[string]float64{"b": 1, "a": 1, "c": 1}}
+	data := engine.FromSlice(docs, 1)
+	fit := func() *Vocabulary {
+		return (&CommonSparseFeatures{NumFeatures: 2}).
+			Fit(engine.NewContext(1), func() *engine.Collection { return data }, nil).(*Vocabulary)
+	}
+	v1, v2 := fit(), fit()
+	for term, idx := range v1.Index {
+		if v2.Index[term] != idx {
+			t.Fatal("vocabulary not deterministic under ties")
+		}
+	}
+	// Alphabetical tie-break: a then b.
+	if v1.Index["a"] != 0 || v1.Index["b"] != 1 {
+		t.Errorf("tie-break order wrong: %v", v1.Index)
+	}
+}
+
+func TestEndToEndTextPipelineChain(t *testing.T) {
+	// The Figure 2 chain composes with compile-time type safety.
+	p := core.Input[string]()
+	p1 := core.AndThen(p, Trim())
+	p2 := core.AndThen(p1, LowerCase())
+	p3 := core.AndThen(p2, Tokenizer())
+	p4 := core.AndThen(p3, NGrams(1, 2))
+	p5 := core.AndThen(p4, TermFrequency(Binary))
+	p6 := core.AndThenEstimator(p5, NewCommonSparseFeaturesEst(100))
+
+	docs := []any{" The cat sat ", "the DOG ran", "a cat ran"}
+	ex := core.NewExecutor(p6.Graph(), engine.NewContext(2), nil, engine.FromSlice(docs, 2), nil)
+	_, out, _ := ex.Run()
+	recs := out.Collect()
+	if len(recs) != 3 {
+		t.Fatalf("output records = %d", len(recs))
+	}
+	for _, r := range recs {
+		if _, ok := r.(*linalg.SparseVector); !ok {
+			t.Fatalf("output record type %T, want sparse vector", r)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package tuning implements the hyperparameter search the paper lists as
+// future work (Section 7, citing the authors' TuPAQ system): grid search
+// over pipeline configurations with successive halving, reusing the
+// optimizer's sampling machinery so candidate configurations are
+// evaluated on growing data fractions and losers are eliminated early.
+package tuning
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"keystoneml/internal/core"
+	"keystoneml/internal/engine"
+	"keystoneml/internal/metrics"
+	"keystoneml/internal/optimizer"
+	"keystoneml/internal/workload"
+)
+
+// Candidate is one hyperparameter configuration: a name and a pipeline
+// builder. Builders must be pure (safe to call repeatedly).
+type Candidate struct {
+	Name  string
+	Build func() *core.Graph
+}
+
+// Config parameterizes the search.
+type Config struct {
+	// Optimizer is applied to every candidate before fitting.
+	Optimizer optimizer.Config
+	// Eta is the halving rate: each round keeps 1/Eta of candidates
+	// (default 2).
+	Eta int
+	// MinSample is the training subset size of the first round (default
+	// 64); each round multiplies it by Eta until the full set is used.
+	MinSample int
+	// Parallelism bounds execution; 0 = NumCPU.
+	Parallelism int
+}
+
+func (c Config) eta() int {
+	if c.Eta >= 2 {
+		return c.Eta
+	}
+	return 2
+}
+
+func (c Config) minSample() int {
+	if c.MinSample > 0 {
+		return c.MinSample
+	}
+	return 64
+}
+
+// Result describes one evaluated candidate.
+type Result struct {
+	Name      string
+	Accuracy  float64 // on the validation set, final round it survived
+	Rounds    int     // rounds survived
+	TrainTime time.Duration
+}
+
+// Search runs successive halving: all candidates train on a small
+// subsample, are scored on the validation set, and only the top 1/Eta
+// advance to a subsample Eta times larger, until one candidate has seen
+// the full training set. It returns results sorted best-first.
+func Search(cands []Candidate, train, val workload.Labeled, cfg Config) []Result {
+	if len(cands) == 0 {
+		return nil
+	}
+	type state struct {
+		cand   Candidate
+		result Result
+	}
+	alive := make([]*state, len(cands))
+	for i, c := range cands {
+		alive[i] = &state{cand: c, result: Result{Name: c.Name}}
+	}
+	var finished []*state
+	sampleN := cfg.minSample()
+	fullN := train.Data.Count()
+	round := 0
+	for len(alive) > 0 {
+		n := min(sampleN, fullN)
+		data := train.Data.Sample(n)
+		labels := train.Labels.Sample(n)
+		for _, s := range alive {
+			s.result.Rounds = round + 1
+			g := s.cand.Build()
+			start := time.Now()
+			oc := cfg.Optimizer
+			oc.Parallelism = cfg.Parallelism
+			plan := optimizer.Optimize(g, data, labels, oc)
+			models, _, _ := plan.Execute(data, labels, cfg.Parallelism)
+			s.result.TrainTime += time.Since(start)
+			fitted := core.NewFitted(g, models, engine.NewContext(cfg.Parallelism))
+			s.result.Accuracy = evaluate(fitted, val)
+		}
+		sort.Slice(alive, func(a, b int) bool {
+			return alive[a].result.Accuracy > alive[b].result.Accuracy
+		})
+		if n >= fullN || len(alive) == 1 {
+			finished = append(finished, alive...)
+			break
+		}
+		keep := max(1, len(alive)/cfg.eta())
+		finished = append(finished, alive[keep:]...)
+		alive = alive[:keep]
+		sampleN *= cfg.eta()
+		round++
+	}
+	sort.Slice(finished, func(a, b int) bool {
+		if finished[a].result.Rounds != finished[b].result.Rounds {
+			return finished[a].result.Rounds > finished[b].result.Rounds
+		}
+		return finished[a].result.Accuracy > finished[b].result.Accuracy
+	})
+	out := make([]Result, len(finished))
+	for i, s := range finished {
+		out[i] = s.result
+	}
+	return out
+}
+
+func evaluate(fitted *core.Fitted, val workload.Labeled) float64 {
+	recs := fitted.Apply(val.Data).Collect()
+	scores := make([][]float64, len(recs))
+	for i, r := range recs {
+		s, ok := r.([]float64)
+		if !ok {
+			panic(fmt.Sprintf("tuning: pipeline output %T is not a score vector", r))
+		}
+		scores[i] = s
+	}
+	return metrics.Accuracy(scores, val.Truth)
+}

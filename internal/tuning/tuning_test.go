@@ -1,0 +1,85 @@
+package tuning
+
+import (
+	"testing"
+
+	"keystoneml/internal/cluster"
+	"keystoneml/internal/core"
+	"keystoneml/internal/optimizer"
+	"keystoneml/internal/pipelines"
+	"keystoneml/internal/workload"
+)
+
+func searchConfig() Config {
+	return Config{
+		Optimizer: optimizer.Config{
+			Level:       optimizer.LevelPipeline,
+			Resources:   cluster.Local(4),
+			NumClasses:  6,
+			SampleSizes: [2]int{16, 32},
+		},
+		MinSample: 80,
+	}
+}
+
+// speechCandidates sweeps the random-feature count: too few features
+// underfit, so the search must prefer larger maps.
+func speechCandidates() []Candidate {
+	var cands []Candidate
+	for _, d := range []int{4, 16, 64, 256} {
+		d := d
+		cands = append(cands, Candidate{
+			Name: nameOf(d),
+			Build: func() *core.Graph {
+				return pipelines.Speech(pipelines.SpeechConfig{
+					InputDim: 20, NumFeatures: d, Seed: 7, Iterations: 15,
+				}).Graph()
+			},
+		})
+	}
+	return cands
+}
+
+func nameOf(d int) string {
+	return map[int]string{4: "D=4", 16: "D=16", 64: "D=64", 256: "D=256"}[d]
+}
+
+func TestSearchPicksBetterConfiguration(t *testing.T) {
+	train := workload.DenseVectors(400, 20, 6, 3, 4)
+	val := workload.DenseVectors(120, 20, 6, 4, 2)
+	results := Search(speechCandidates(), train, val, searchConfig())
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4", len(results))
+	}
+	winner := results[0]
+	if winner.Name == "D=4" {
+		t.Errorf("search picked the underfit configuration (accuracy %.2f)", winner.Accuracy)
+	}
+	if winner.Accuracy < 0.7 {
+		t.Errorf("winner accuracy %.2f < 0.7", winner.Accuracy)
+	}
+	// The winner must have survived more rounds than the last-place
+	// candidate (successive halving actually halves).
+	last := results[len(results)-1]
+	if winner.Rounds <= last.Rounds {
+		t.Errorf("no early elimination: winner rounds %d vs last %d", winner.Rounds, last.Rounds)
+	}
+}
+
+func TestSearchSingleCandidate(t *testing.T) {
+	train := workload.DenseVectors(150, 20, 6, 3, 2)
+	val := workload.DenseVectors(60, 20, 6, 4, 2)
+	results := Search(speechCandidates()[:1], train, val, searchConfig())
+	if len(results) != 1 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Accuracy <= 0 {
+		t.Error("single candidate not evaluated")
+	}
+}
+
+func TestSearchEmpty(t *testing.T) {
+	if got := Search(nil, workload.Labeled{}, workload.Labeled{}, Config{}); got != nil {
+		t.Errorf("empty search = %v", got)
+	}
+}

@@ -1,0 +1,237 @@
+// Package workload generates the synthetic datasets that stand in for the
+// paper's evaluation corpora (Table 3). None of the real datasets (Amazon
+// Reviews, TIMIT, ImageNet, VOC, CIFAR-10, YouTube-8M) are available
+// offline, so each generator reproduces the *statistical shape* that
+// drives the paper's results — sparsity, dimensionality, class count, and
+// class-conditional structure strong enough that the pipelines actually
+// learn — at configurable scale. All generators are deterministic in
+// their seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"keystoneml/internal/engine"
+	"keystoneml/internal/image"
+	"keystoneml/internal/linalg"
+)
+
+// Labeled bundles a generated dataset: records, one-hot label vectors
+// (aligned and identically partitioned), and integer ground truth.
+type Labeled struct {
+	Data   *engine.Collection
+	Labels *engine.Collection
+	Truth  []int
+	// Classes is the number of label classes (k).
+	Classes int
+}
+
+// split returns record i's partition-aligned collections.
+func newLabeled(records []any, truth []int, classes, parts int) Labeled {
+	labels := make([]any, len(truth))
+	for i, c := range truth {
+		y := make([]float64, classes)
+		y[c] = 1
+		labels[i] = y
+	}
+	return Labeled{
+		Data:    engine.FromSlice(records, parts),
+		Labels:  engine.FromSlice(labels, parts),
+		Truth:   truth,
+		Classes: classes,
+	}
+}
+
+// reviewVocab is the shared vocabulary of the synthetic review corpus.
+var (
+	neutralWords = []string{
+		"the", "a", "this", "product", "item", "box", "arrived", "ordered",
+		"bought", "price", "shipping", "package", "color", "size", "brand",
+		"store", "time", "day", "week", "month", "house", "kitchen", "phone",
+		"book", "device", "quality", "material", "battery", "screen", "cable",
+	}
+	positiveWords = []string{
+		"great", "excellent", "love", "perfect", "amazing", "wonderful",
+		"fantastic", "recommend", "happy", "best", "works", "sturdy",
+		"beautiful", "comfortable", "fast",
+	}
+	negativeWords = []string{
+		"terrible", "awful", "broke", "disappointed", "waste", "poor",
+		"refund", "broken", "useless", "worst", "cheap", "slow",
+		"defective", "horrible", "returned",
+	}
+)
+
+// AmazonReviews generates a binary-sentiment text corpus shaped like the
+// Amazon Reviews workload: documents of 10-60 tokens drawn from a mixed
+// vocabulary where sentiment-bearing words correlate with the label.
+// After 1-2 gram featurization the resulting feature space is large and
+// ~0.1% sparse, matching Table 3.
+func AmazonReviews(n int, seed uint64, parts int) Labeled {
+	rng := linalg.NewRNG(seed)
+	records := make([]any, n)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := rng.Intn(2)
+		truth[i] = cls
+		length := 10 + rng.Intn(50)
+		doc := ""
+		for w := 0; w < length; w++ {
+			var word string
+			r := rng.Float64()
+			switch {
+			case r < 0.25 && cls == 1:
+				word = positiveWords[rng.Intn(len(positiveWords))]
+			case r < 0.25 && cls == 0:
+				word = negativeWords[rng.Intn(len(negativeWords))]
+			case r < 0.30:
+				// Cross-talk: wrong-class sentiment word (label noise).
+				if cls == 1 {
+					word = negativeWords[rng.Intn(len(negativeWords))]
+				} else {
+					word = positiveWords[rng.Intn(len(positiveWords))]
+				}
+			default:
+				word = neutralWords[rng.Intn(len(neutralWords))]
+			}
+			if w > 0 {
+				doc += " "
+			}
+			doc += word
+		}
+		records[i] = doc
+	}
+	return newLabeled(records, truth, 2, parts)
+}
+
+// SparseVectors generates an Amazon-shaped pre-featurized sparse dataset:
+// d-dimensional records with nnz uniform nonzero features, labels from a
+// planted sparse linear model. Used by the solver benchmarks (Figures 6
+// and 8) where featurization is not under test.
+func SparseVectors(n, d, nnz, classes int, seed uint64, parts int) Labeled {
+	rng := linalg.NewRNG(seed)
+	// The planted model depends only on the problem shape (see
+	// DenseVectors) so differently-seeded draws are consistently labeled.
+	wRNG := linalg.NewRNG(0x5FA5 ^ uint64(d)<<20 ^ uint64(classes))
+	w := wRNG.GaussianMatrix(d, classes)
+	records := make([]any, n)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		idx := rng.Perm(d)[:nnz]
+		val := rng.GaussianVector(nnz)
+		sv := linalg.NewSparseVector(d, idx, val)
+		records[i] = sv
+		scores := make([]float64, classes)
+		for p, ii := range sv.Idx {
+			for j := 0; j < classes; j++ {
+				scores[j] += sv.Val[p] * w.At(ii, j)
+			}
+		}
+		truth[i] = linalg.ArgMax(scores)
+	}
+	return newLabeled(records, truth, classes, parts)
+}
+
+// DenseVectors generates a TIMIT-shaped dense dataset: d-dimensional
+// records from class-conditional Gaussians (classes phoneme-like), so a
+// linear model on random-cosine features separates them. TIMIT proper is
+// 440-dim with 147 classes; callers pick the scale.
+func DenseVectors(n, d, classes int, seed uint64, parts int) Labeled {
+	rng := linalg.NewRNG(seed)
+	// Class centers depend only on the problem shape, never on the sample
+	// seed, so train and test draws with different seeds share classes.
+	centerRNG := linalg.NewRNG(0xC3A5 ^ uint64(d)<<20 ^ uint64(classes))
+	centers := centerRNG.GaussianMatrix(classes, d)
+	for i := range centers.Data {
+		centers.Data[i] *= 2.5
+	}
+	records := make([]any, n)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := rng.Intn(classes)
+		truth[i] = cls
+		x := make([]float64, d)
+		center := centers.Row(cls)
+		for j := range x {
+			x[j] = center[j] + rng.Gaussian()
+		}
+		records[i] = x
+	}
+	return newLabeled(records, truth, classes, parts)
+}
+
+// Images generates an image-classification dataset where class determines
+// the orientation of a striped texture (plus noise): SIFT-style oriented
+// gradient histograms — and convolutional features — separate the classes,
+// exercising the same code paths as VOC/ImageNet/CIFAR-10. Images are
+// size x size with the given channel count.
+func Images(n, size, channels, classes int, seed uint64, parts int) Labeled {
+	rng := linalg.NewRNG(seed)
+	records := make([]any, n)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := rng.Intn(classes)
+		truth[i] = cls
+		records[i] = stripedImage(rng, size, channels, cls, classes)
+	}
+	return newLabeled(records, truth, classes, parts)
+}
+
+// stripedImage renders stripes whose angle encodes the class.
+func stripedImage(rng *linalg.RNG, size, channels, cls, classes int) *image.Image {
+	im := image.New(size, size, channels)
+	angle := float64(cls) / float64(classes) * 3.14159
+	cos, sin := cosSin(angle)
+	freq := 0.5 + 0.1*float64(cls%3)
+	phase := rng.Float64() * 6.28
+	for c := 0; c < channels; c++ {
+		chanScale := 1.0 + 0.2*float64(c)
+		plane := im.Plane(c)
+		for y := 0; y < size; y++ {
+			for x := 0; x < size; x++ {
+				t := (float64(x)*cos + float64(y)*sin) * freq
+				v := chanScale*wave(t+phase) + 0.4*rng.Gaussian()
+				plane[y*size+x] = v
+			}
+		}
+	}
+	return im
+}
+
+func cosSin(a float64) (float64, float64) { return math.Cos(a), math.Sin(a) }
+
+// wave is a smooth periodic stripe profile.
+func wave(t float64) float64 { return math.Sin(t) }
+
+// YouTube generates the YouTube-8M shape: pre-featurized 1024-dim dense
+// neural-network embeddings with a large class count (4800 in the paper;
+// scaled down by callers).
+func YouTube(n, classes int, seed uint64, parts int) Labeled {
+	return DenseVectors(n, 1024, classes, seed, parts)
+}
+
+// Describe prints a Table 3 style row for a generated dataset.
+func Describe(name string, l Labeled) string {
+	recs := l.Data.Collect()
+	var bytes int64
+	for _, r := range recs {
+		bytes += recordBytes(r)
+	}
+	return fmt.Sprintf("%-10s n=%-8d classes=%-5d size=%.1fMB", name, len(recs), l.Classes, float64(bytes)/1e6)
+}
+
+func recordBytes(r any) int64 {
+	switch x := r.(type) {
+	case string:
+		return int64(len(x))
+	case []float64:
+		return int64(8 * len(x))
+	case *linalg.SparseVector:
+		return int64(16 * x.NNZ())
+	case *image.Image:
+		return x.ByteSize()
+	default:
+		return 64
+	}
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"keystoneml/internal/image"
+	"keystoneml/internal/linalg"
+)
+
+func TestAmazonReviewsShape(t *testing.T) {
+	l := AmazonReviews(100, 1, 4)
+	if l.Data.Count() != 100 || l.Labels.Count() != 100 || len(l.Truth) != 100 {
+		t.Fatal("wrong counts")
+	}
+	if l.Classes != 2 {
+		t.Errorf("classes = %d", l.Classes)
+	}
+	for i, r := range l.Data.Collect() {
+		doc, ok := r.(string)
+		if !ok || len(doc) == 0 {
+			t.Fatalf("record %d: %T %q", i, r, r)
+		}
+		words := strings.Fields(doc)
+		if len(words) < 10 || len(words) > 60 {
+			t.Fatalf("doc length %d out of range", len(words))
+		}
+	}
+	// One-hot labels aligned with truth.
+	for i, r := range l.Labels.Collect() {
+		y := r.([]float64)
+		if y[l.Truth[i]] != 1 {
+			t.Fatal("label not one-hot at truth index")
+		}
+	}
+}
+
+func TestAmazonSentimentCorrelation(t *testing.T) {
+	l := AmazonReviews(400, 7, 4)
+	posHits, negHits := 0, 0
+	for i, r := range l.Data.Collect() {
+		doc := r.(string)
+		hasPos := strings.Contains(doc, "excellent") || strings.Contains(doc, "great") || strings.Contains(doc, "love")
+		hasNeg := strings.Contains(doc, "terrible") || strings.Contains(doc, "awful") || strings.Contains(doc, "broke")
+		if l.Truth[i] == 1 && hasPos {
+			posHits++
+		}
+		if l.Truth[i] == 0 && hasNeg {
+			negHits++
+		}
+	}
+	if posHits < 50 || negHits < 50 {
+		t.Errorf("sentiment words barely correlate: pos=%d neg=%d", posHits, negHits)
+	}
+}
+
+func TestDenseVectorsSharedCenters(t *testing.T) {
+	// Different seeds must share class structure (the train/test contract).
+	a := DenseVectors(50, 10, 3, 1, 2)
+	b := DenseVectors(50, 10, 3, 2, 2)
+	// Class means of the same class across draws should be close.
+	meanOf := func(l Labeled, cls int) []float64 {
+		m := make([]float64, 10)
+		n := 0
+		for i, r := range l.Data.Collect() {
+			if l.Truth[i] == cls {
+				linalg.AxpyInPlace(1, r.([]float64), m)
+				n++
+			}
+		}
+		linalg.ScaleInPlace(1/float64(max(n, 1)), m)
+		return m
+	}
+	for cls := 0; cls < 3; cls++ {
+		ma, mb := meanOf(a, cls), meanOf(b, cls)
+		diff := 0.0
+		for i := range ma {
+			d := ma[i] - mb[i]
+			diff += d * d
+		}
+		if diff > 10 {
+			t.Errorf("class %d centers differ across seeds: %g", cls, diff)
+		}
+	}
+}
+
+func TestSparseVectorsShape(t *testing.T) {
+	l := SparseVectors(80, 1000, 8, 2, 3, 4)
+	for _, r := range l.Data.Collect() {
+		sv := r.(*linalg.SparseVector)
+		if sv.Dim != 1000 || sv.NNZ() != 8 {
+			t.Fatalf("sparse record dim=%d nnz=%d", sv.Dim, sv.NNZ())
+		}
+	}
+}
+
+func TestImagesClassStructure(t *testing.T) {
+	l := Images(20, 32, 3, 4, 5, 2)
+	for _, r := range l.Data.Collect() {
+		im := r.(*image.Image)
+		if im.Width != 32 || im.Height != 32 || im.Channels != 3 {
+			t.Fatalf("image shape %v", im)
+		}
+	}
+	// Determinism.
+	l2 := Images(20, 32, 3, 4, 5, 2)
+	a := l.Data.Collect()[0].(*image.Image)
+	b := l2.Data.Collect()[0].(*image.Image)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("image generation not deterministic")
+		}
+	}
+}
+
+func TestYouTubeShape(t *testing.T) {
+	l := YouTube(30, 6, 1, 2)
+	if d := len(l.Data.Collect()[0].([]float64)); d != 1024 {
+		t.Errorf("youtube dim = %d, want 1024", d)
+	}
+	if l.Classes != 6 {
+		t.Errorf("classes = %d", l.Classes)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe("Amazon", AmazonReviews(10, 1, 2))
+	if !strings.Contains(s, "Amazon") || !strings.Contains(s, "n=10") {
+		t.Errorf("Describe = %q", s)
+	}
+}
+
+func TestLabelsPartitionAlignment(t *testing.T) {
+	l := DenseVectors(37, 5, 3, 9, 4)
+	if l.Data.NumPartitions() != l.Labels.NumPartitions() {
+		t.Fatal("partition counts differ")
+	}
+	for p := 0; p < l.Data.NumPartitions(); p++ {
+		if len(l.Data.Partition(p)) != len(l.Labels.Partition(p)) {
+			t.Fatal("partition sizes differ")
+		}
+	}
+}
