@@ -1,0 +1,28 @@
+# Development and CI entry points. `make ci` is exactly what the GitHub
+# Actions workflow runs.
+
+GO ?= go
+
+.PHONY: build test race vet bench-smoke bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# A short benchmark pass at Quick scale: compiles every benchmark and
+# runs each once, catching bit-rot without CI-hostile runtimes.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+ci: vet build race bench-smoke

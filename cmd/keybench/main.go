@@ -7,7 +7,7 @@
 //	keybench -scale full     # larger sizes, sharper ratios
 //
 // Experiments: table1 fig6 table2 fig7 costmodel table3 table5 fig8
-// table6 fig9 fig10 fig11 fig12.
+// table6 fig9 fig10 fig11 fig12 parallel.
 package main
 
 import (
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig6, table2, fig7, costmodel, table3, table5, fig8, table6, fig9, fig10, fig11, fig12)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig6, table2, fig7, costmodel, table3, table5, fig8, table6, fig9, fig10, fig11, fig12, parallel)")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	flag.Parse()
 
@@ -47,6 +47,7 @@ func main() {
 		{"fig10", func() { experiments.Figure10(w, scale) }},
 		{"fig11", func() { experiments.Figure11(w, scale) }},
 		{"fig12", func() { experiments.Figure12(w) }},
+		{"parallel", func() { experiments.ParallelExec(w, scale) }},
 	}
 
 	ran := false

@@ -46,7 +46,10 @@ func main() {
 
 	run := func(name string, cache *engine.CacheManager) {
 		g := build()
-		ex := core.NewExecutor(g, engine.NewContext(0), cache, train.Data, train.Labels)
+		// The sequential oracle (workers=1) keeps the recompute counts
+		// below deterministic — the parallel scheduler coalesces shared
+		// branches, which is faster but machine-dependent.
+		ex := core.NewExecutor(g, engine.NewContext(0), cache, train.Data, train.Labels).SetWorkers(1)
 		start := time.Now()
 		_, _, report := ex.Run()
 		fmt.Printf("%-22s %8v\n", name, time.Since(start).Round(time.Millisecond))

@@ -1,0 +1,3 @@
+module keystoneml
+
+go 1.22

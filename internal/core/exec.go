@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"keystoneml/internal/engine"
@@ -15,11 +16,15 @@ import (
 type NodeStats struct {
 	Name     string
 	Kind     NodeKind
-	Computes int           // how many times the node's computation ran
-	Hits     int           // how many accesses were served by the cache
-	Time     time.Duration // total local computation time across runs
-	OutCount int           // records in the node output (last run)
-	OutBytes int64         // estimated bytes of the node output (last run)
+	Computes int // how many times the node's computation ran
+	Hits     int // how many accesses were served by the cache
+	// Coalesced counts accesses served by joining an in-flight
+	// computation under the parallel scheduler's single-flight rule
+	// (always 0 under the sequential oracle).
+	Coalesced int
+	Time      time.Duration // total local computation time across runs
+	OutCount  int           // records in the node output (last run)
+	OutBytes  int64         // estimated bytes of the node output (last run)
 }
 
 // TimePerCompute returns the average local computation time t(v).
@@ -36,12 +41,23 @@ type ExecReport struct {
 	Total time.Duration
 }
 
-// Executor evaluates a pipeline DAG depth-first over bound training data.
-// There is deliberately no implicit memoization: a node accessed twice
-// recomputes unless the cache manager holds its output. This reproduces
-// the execution model the paper's T(v)/C(v) analysis describes — the
-// entire value of the materialization optimizer comes from this
+// Executor evaluates a pipeline DAG over bound training data. There is
+// deliberately no implicit memoization across demands: a node accessed
+// twice recomputes unless the cache manager holds its output. This
+// reproduces the execution model the paper's T(v)/C(v) analysis describes —
+// the entire value of the materialization optimizer comes from this
 // recompute-on-miss behaviour.
+//
+// Two scheduling modes share that contract:
+//
+//   - workers <= 1: the sequential depth-first oracle, byte-for-byte the
+//     paper's single-driver evaluation order.
+//   - workers > 1 (the default, sized from the engine context): the
+//     stage-aware parallel scheduler in exec_parallel.go, which evaluates
+//     each demanded subgraph as a dataflow pass — ready nodes dispatch to a
+//     bounded worker pool, independent branches run concurrently, and a
+//     node demanded by several concurrent consumers computes once
+//     (single-flight) with the other consumers blocking on its result.
 type Executor struct {
 	g      *Graph
 	ctx    *engine.Context
@@ -49,35 +65,85 @@ type Executor struct {
 	data   *engine.Collection
 	labels *engine.Collection
 
-	models map[int]TransformOp
-	report *ExecReport
+	// workers bounds DAG-level parallelism (how many node computations
+	// may run at once); <= 1 selects the sequential oracle.
+	workers int
+	slots   chan struct{} // bounded worker pool, nil in sequential mode
+
+	mu          sync.Mutex // guards models, report, flight maps
+	models      map[int]TransformOp
+	report      *ExecReport
+	flight      map[int]*flight
+	modelFlight map[int]*modelFlight
 }
 
 // NewExecutor binds a graph to training data and an execution context.
 // labels may be nil for unsupervised pipelines; cache may be nil to run
-// with no materialization at all.
+// with no materialization at all. DAG-level parallelism defaults to the
+// context's Parallelism; use SetWorkers(1) for the sequential oracle.
 func NewExecutor(g *Graph, ctx *engine.Context, cache *engine.CacheManager, data, labels *engine.Collection) *Executor {
-	return &Executor{
-		g:      g,
-		ctx:    ctx,
-		cache:  cache,
-		data:   data,
-		labels: labels,
-		models: make(map[int]TransformOp),
-		report: &ExecReport{Nodes: make(map[int]*NodeStats)},
+	e := &Executor{
+		g:           g,
+		ctx:         ctx,
+		cache:       cache,
+		data:        data,
+		labels:      labels,
+		models:      make(map[int]TransformOp),
+		report:      &ExecReport{Nodes: make(map[int]*NodeStats)},
+		flight:      make(map[int]*flight),
+		modelFlight: make(map[int]*modelFlight),
 	}
+	e.SetWorkers(ctx.Parallelism)
+	return e
 }
+
+// SetWorkers bounds how many DAG nodes may compute concurrently. n <= 1
+// selects the sequential depth-first oracle; n <= 0 restores the default
+// (the context's Parallelism). It returns the executor for chaining and
+// must not be called once Run has started.
+func (e *Executor) SetWorkers(n int) *Executor {
+	if n <= 0 {
+		n = e.ctx.Parallelism
+	}
+	e.workers = n
+	if n > 1 {
+		e.slots = make(chan struct{}, n)
+	} else {
+		e.slots = nil
+	}
+	return e
+}
+
+// Workers returns the DAG-level parallelism bound.
+func (e *Executor) Workers() int { return e.workers }
 
 // Run executes the DAG to the sink and returns the fitted models (keyed by
 // estimator node ID), the sink output, and the execution report.
 func (e *Executor) Run() (map[int]TransformOp, *engine.Collection, *ExecReport) {
 	start := time.Now()
-	out := e.materialize(e.g.Sink)
+	out := e.demand(e.g.Sink)
 	e.report.Total = time.Since(start)
 	return e.models, out, e.report
 }
 
-func (e *Executor) stats(n *Node) *NodeStats {
+// demand materializes the output of n under the configured scheduler.
+func (e *Executor) demand(n *Node) *engine.Collection {
+	if e.workers > 1 {
+		return e.runPass(n)
+	}
+	return e.materialize(n)
+}
+
+func cacheKey(id int) string { return "node:" + strconv.Itoa(id) }
+
+// cachedNow reports whether n's output currently sits in the cache,
+// without counting an access (a planning peek, not a Get).
+func (e *Executor) cachedNow(n *Node) bool {
+	return e.cache != nil && e.cache.Contains(cacheKey(n.ID))
+}
+
+// stats returns the mutable record for n; the caller must hold e.mu.
+func (e *Executor) statsLocked(n *Node) *NodeStats {
 	s, ok := e.report.Nodes[n.ID]
 	if !ok {
 		s = &NodeStats{Name: n.OpName(), Kind: n.Kind}
@@ -86,32 +152,82 @@ func (e *Executor) stats(n *Node) *NodeStats {
 	return s
 }
 
-func cacheKey(id int) string { return "node:" + strconv.Itoa(id) }
+func (e *Executor) noteHit(n *Node) {
+	e.mu.Lock()
+	e.statsLocked(n).Hits++
+	e.mu.Unlock()
+}
 
-// materialize produces the output collection of n, consulting the cache
-// first and recomputing from dependencies on a miss.
+func (e *Executor) noteCoalesced(n *Node) {
+	e.mu.Lock()
+	e.statsLocked(n).Coalesced++
+	e.mu.Unlock()
+}
+
+// noteCompute records one computation of n and returns the estimated
+// output size for the cache admission call.
+func (e *Executor) noteCompute(n *Node, out *engine.Collection) int64 {
+	bytes := SizeOfSlice(out.Collect())
+	e.mu.Lock()
+	st := e.statsLocked(n)
+	st.Computes++
+	st.OutCount = out.Count()
+	st.OutBytes = bytes
+	e.mu.Unlock()
+	return bytes
+}
+
+func (e *Executor) addTime(n *Node, d time.Duration) {
+	e.mu.Lock()
+	e.statsLocked(n).Time += d
+	e.mu.Unlock()
+}
+
+// acquireSlot bounds node-local compute by the worker pool. Slots are
+// held only across the local operator work, never while waiting on
+// dependencies or in-flight results, so the pool cannot deadlock.
+func (e *Executor) acquireSlot() {
+	if e.slots != nil {
+		e.slots <- struct{}{}
+	}
+}
+
+func (e *Executor) releaseSlot() {
+	if e.slots != nil {
+		<-e.slots
+	}
+}
+
+// materialize produces the output collection of n under the sequential
+// oracle, consulting the cache first and recomputing from dependencies on
+// a miss.
 func (e *Executor) materialize(n *Node) *engine.Collection {
-	st := e.stats(n)
 	if e.cache != nil {
 		if v, ok := e.cache.Get(cacheKey(n.ID)); ok {
-			st.Hits++
+			e.noteHit(n)
 			return v.(*engine.Collection)
 		}
 	}
-	out := e.compute(n)
-	st.Computes++
-	st.OutCount = out.Count()
-	st.OutBytes = SizeOfSlice(out.Collect())
+	out := e.localCompute(n, nil)
+	bytes := e.noteCompute(n, out)
 	if e.cache != nil {
-		e.cache.Put(cacheKey(n.ID), out, st.OutBytes)
+		e.cache.Put(cacheKey(n.ID), out, bytes)
 	}
 	return out
 }
 
-// compute evaluates n's operator after materializing its dependencies.
-// Only the node-local work is timed; dependency time is charged to the
+// localCompute evaluates n's operator. ins, when non-nil, carries
+// already-materialized dependency outputs (positionally matching n.Deps)
+// from a scheduler pass; any missing input is demanded on the spot. Only
+// the node-local work is timed; dependency time is charged to the
 // dependencies themselves.
-func (e *Executor) compute(n *Node) *engine.Collection {
+func (e *Executor) localCompute(n *Node, ins []*engine.Collection) *engine.Collection {
+	input := func(i int) *engine.Collection {
+		if ins != nil && ins[i] != nil {
+			return ins[i]
+		}
+		return e.demand(n.Deps[i])
+	}
 	switch n.Kind {
 	case KindSource:
 		if e.data == nil {
@@ -124,32 +240,35 @@ func (e *Executor) compute(n *Node) *engine.Collection {
 		}
 		return e.labels
 	case KindTransform:
-		in := e.materialize(n.Deps[0])
-		st := e.stats(n)
+		in := input(0)
+		e.acquireSlot()
+		defer e.releaseSlot()
 		start := time.Now()
 		out := e.ctx.Map(in, n.Transform.Apply)
-		st.Time += time.Since(start)
+		e.addTime(n, time.Since(start))
 		return out
 	case KindGather:
-		ins := make([]*engine.Collection, len(n.Deps))
-		for i, d := range n.Deps {
-			ins[i] = e.materialize(d)
+		gathered := make([]*engine.Collection, len(n.Deps))
+		for i := range n.Deps {
+			gathered[i] = input(i)
 		}
-		st := e.stats(n)
+		e.acquireSlot()
+		defer e.releaseSlot()
 		start := time.Now()
-		out := ins[0]
-		for i := 1; i < len(ins); i++ {
-			out = e.ctx.Zip(out, ins[i], concatFeatures)
+		out := gathered[0]
+		for i := 1; i < len(gathered); i++ {
+			out = e.ctx.Zip(out, gathered[i], concatFeatures)
 		}
-		st.Time += time.Since(start)
+		e.addTime(n, time.Since(start))
 		return out
 	case KindApplyModel:
 		model := e.fitModel(n.Deps[0])
-		in := e.materialize(n.Deps[1])
-		st := e.stats(n)
+		in := input(1)
+		e.acquireSlot()
+		defer e.releaseSlot()
 		start := time.Now()
 		out := e.ctx.Map(in, model.Apply)
-		st.Time += time.Since(start)
+		e.addTime(n, time.Since(start))
 		return out
 	case KindEstimator:
 		panic("core: estimator node materialized as data; estimators produce models, not collections")
@@ -158,27 +277,91 @@ func (e *Executor) compute(n *Node) *engine.Collection {
 	}
 }
 
+// modelFlight is the single-flight record for one estimator fit.
+type modelFlight struct {
+	done     chan struct{}
+	model    TransformOp
+	panicked any
+}
+
 // fitModel fits the estimator node once per run (models are memoized; it
 // is the estimator's *input* that is refetched per pass, not the fit
-// itself).
+// itself). Concurrent demands for the same model coalesce onto one fit.
 func (e *Executor) fitModel(n *Node) TransformOp {
 	if n.Kind != KindEstimator {
 		panic(fmt.Sprintf("core: fitModel on non-estimator node #%d (%s)", n.ID, n.Kind))
 	}
+	e.mu.Lock()
 	if m, ok := e.models[n.ID]; ok {
+		e.mu.Unlock()
 		return m
 	}
+	if f, ok := e.modelFlight[n.ID]; ok {
+		e.mu.Unlock()
+		<-f.done
+		if f.panicked != nil {
+			panic(f.panicked)
+		}
+		return f.model
+	}
+	f := &modelFlight{done: make(chan struct{})}
+	e.modelFlight[n.ID] = f
+	e.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			f.panicked = r
+		}
+		e.mu.Lock()
+		delete(e.modelFlight, n.ID)
+		e.mu.Unlock()
+		close(f.done)
+		if f.panicked != nil {
+			panic(f.panicked)
+		}
+	}()
+
+	// The fit occupies a worker slot for its own computation but yields
+	// it while fetching inputs: the fetch recursion claims slots for the
+	// nodes it computes, so a fit holding its slot across a fetch could
+	// starve the pool into deadlock. This assumes fetches are invoked
+	// from the fitting goroutine, which every library estimator does.
+	held := false
+	yieldSlot := func() {
+		if held {
+			e.releaseSlot()
+			held = false
+		}
+	}
+	claimSlot := func() {
+		if !held {
+			e.acquireSlot()
+			held = true
+		}
+	}
 	dataDep := n.Deps[0]
-	fetch := func() *engine.Collection { return e.materialize(dataDep) }
+	fetch := func() *engine.Collection {
+		yieldSlot()
+		out := e.demand(dataDep)
+		claimSlot()
+		return out
+	}
 	var labelFetch Fetch
 	if len(n.Deps) > 1 {
 		labelDep := n.Deps[1]
-		labelFetch = func() *engine.Collection { return e.materialize(labelDep) }
+		labelFetch = func() *engine.Collection {
+			yieldSlot()
+			out := e.demand(labelDep)
+			claimSlot()
+			return out
+		}
 	}
-	st := e.stats(n)
+	claimSlot()
+	defer yieldSlot()
 	start := time.Now()
 	// Fit wall time includes input fetches; subtract the time attributed
 	// to dependency computes during the window so t(v) stays node-local.
+	// Under the parallel scheduler concurrent branches can also log time
+	// inside the window, so this stays an estimate there.
 	depBefore := e.subtreeTime(n)
 	model := n.Estimator.Fit(e.ctx, fetch, labelFetch)
 	depAfter := e.subtreeTime(n)
@@ -186,15 +369,21 @@ func (e *Executor) fitModel(n *Node) TransformOp {
 	if local < 0 {
 		local = 0
 	}
+	e.mu.Lock()
+	st := e.statsLocked(n)
 	st.Time += local
 	st.Computes++
 	e.models[n.ID] = model
+	e.mu.Unlock()
+	f.model = model
 	return model
 }
 
 // subtreeTime sums the recorded local time of n's proper ancestors
 // (everything upstream of the estimator).
 func (e *Executor) subtreeTime(n *Node) time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	seen := map[int]bool{}
 	var total time.Duration
 	var walk func(m *Node)

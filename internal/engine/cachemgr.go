@@ -52,6 +52,16 @@ func NewCacheManager(budget int64, policy CachePolicy) *CacheManager {
 	}
 }
 
+// Contains reports whether id is currently cached. Unlike Get it does
+// not count a hit/miss or touch recency state — it is the planning peek
+// the parallel scheduler uses to prune passes at cache boundaries.
+func (m *CacheManager) Contains(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.entries[id]
+	return ok
+}
+
 // Get returns the cached value for id, if present.
 func (m *CacheManager) Get(id string) (any, bool) {
 	m.mu.Lock()

@@ -37,6 +37,92 @@ func TestCacheManagerConcurrentAccess(t *testing.T) {
 	}
 }
 
+// TestCacheManagerTinyBudgetChurn drives every policy with a budget so
+// small that almost every admission forces evictions, from many
+// goroutines mixing Put/Get/Contains/Remove/Clear/Stats — the workload
+// the parallel DAG scheduler generates when shared subtrees race for a
+// starved cache. Run under -race this exercises every lock path.
+func TestCacheManagerTinyBudgetChurn(t *testing.T) {
+	policies := map[string]func() CachePolicy{
+		"lru":    func() CachePolicy { return NewLRUPolicy() },
+		"pinned": func() CachePolicy { return NewPinnedSetPolicy([]string{"k0", "k1", "k2"}) },
+		"rule":   func() CachePolicy { return NewRuleBasedPolicy([]string{"k3", "k4"}) },
+	}
+	for name, mk := range policies {
+		t.Run(name, func(t *testing.T) {
+			const budget = 1200
+			m := NewCacheManager(budget, mk())
+			var wg sync.WaitGroup
+			for g := 0; g < 12; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 300; i++ {
+						key := fmt.Sprintf("k%d", (g*17+i)%8)
+						switch i % 11 {
+						case 0, 1, 2:
+							m.Put(key, i, int64(100+(i%5)*150))
+						case 3:
+							m.Remove(key)
+						case 4:
+							m.Contains(key)
+						case 5:
+							if g == 0 && i%97 == 5 {
+								m.Clear()
+							} else {
+								m.Get(key)
+							}
+						case 6:
+							m.Stats()
+							m.Used()
+						default:
+							m.Get(key)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if used := m.Used(); used > budget || used < 0 {
+				t.Errorf("cache accounting broken after churn: used=%d budget=%d", used, budget)
+			}
+			hits, misses, _ := m.Stats()
+			if hits < 0 || misses < 0 {
+				t.Errorf("negative counters: hits=%d misses=%d", hits, misses)
+			}
+		})
+	}
+}
+
+// TestCacheManagerContainsDoesNotTouchStats pins the planning-peek
+// contract the parallel scheduler relies on: Contains must not count an
+// access or disturb LRU recency ordering.
+func TestCacheManagerContainsDoesNotTouchStats(t *testing.T) {
+	m := NewCacheManager(1000, NewLRUPolicy())
+	m.Put("a", 1, 400)
+	m.Put("b", 2, 400)
+	h0, mi0, _ := m.Stats()
+	for i := 0; i < 10; i++ {
+		if !m.Contains("a") {
+			t.Fatal("Contains lost entry a")
+		}
+		if m.Contains("zzz") {
+			t.Fatal("Contains invented entry zzz")
+		}
+	}
+	h1, mi1, _ := m.Stats()
+	if h0 != h1 || mi0 != mi1 {
+		t.Errorf("Contains touched stats: hits %d->%d misses %d->%d", h0, h1, mi0, mi1)
+	}
+	// Recency must be untouched: "a" is still oldest and evicts first.
+	m.Put("c", 3, 400)
+	if m.Contains("a") {
+		t.Error("peeking at a should not have refreshed its recency; a should have been evicted")
+	}
+	if !m.Contains("b") {
+		t.Error("b should have survived the eviction")
+	}
+}
+
 // TestConcurrentMapsShareNoState runs two contexts over the same
 // collection concurrently; results must be independent and correct.
 func TestConcurrentMapsShareNoState(t *testing.T) {

@@ -57,6 +57,10 @@ func Figure10(w io.Writer, scale Scale) {
 	fmt.Fprintf(w, "total intermediate size estimate: %.1f MB\n", float64(maxBytes)/1e6)
 	fmt.Fprintf(w, "%10s %14s %14s %14s\n", "budget", "keystoneml", "lru", "rule-based")
 
+	// All three strategies run under the sequential oracle (workers=1):
+	// this figure reproduces the paper's recompute-on-miss cost model,
+	// whose access patterns the parallel scheduler legitimately changes
+	// by coalescing shared branches.
 	for _, frac := range budgets {
 		budget := int64(float64(maxBytes) * frac)
 		times := make(map[string]time.Duration)
@@ -67,13 +71,18 @@ func Figure10(w io.Writer, scale Scale) {
 			c := cfg
 			c.MemBudgetBytes = budget
 			plan := optimizer.Optimize(g, train.Data, train.Labels, c)
-			times["keystone"] = timeIt(func() { plan.Execute(train.Data, train.Labels, 0) })
+			var cache *engine.CacheManager
+			if len(plan.CacheSet) > 0 {
+				cache = engine.NewCacheManager(0, engine.NewPinnedSetPolicy(optimizer.CacheKeys(plan.CacheSet)))
+			}
+			ex := core.NewExecutor(plan.Graph, engine.NewContext(0), cache, train.Data, train.Labels).SetWorkers(1)
+			times["keystone"] = timeIt(func() { ex.Run() })
 		}
 		// LRU with the same budget.
 		{
 			g := build()
 			cache := engine.NewCacheManager(budget, engine.NewLRUPolicy())
-			ex := core.NewExecutor(g, engine.NewContext(0), cache, train.Data, train.Labels)
+			ex := core.NewExecutor(g, engine.NewContext(0), cache, train.Data, train.Labels).SetWorkers(1)
 			times["lru"] = timeIt(func() { ex.Run() })
 		}
 		// Rule-based: only model-application outputs are admitted.
@@ -81,7 +90,7 @@ func Figure10(w io.Writer, scale Scale) {
 			g := build()
 			policy := engine.NewRuleBasedPolicy(optimizer.CacheKeys(optimizer.ApplyModelIDs(g)))
 			cache := engine.NewCacheManager(budget, policy)
-			ex := core.NewExecutor(g, engine.NewContext(0), cache, train.Data, train.Labels)
+			ex := core.NewExecutor(g, engine.NewContext(0), cache, train.Data, train.Labels).SetWorkers(1)
 			times["rule"] = timeIt(func() { ex.Run() })
 		}
 		fmt.Fprintf(w, "%9.0f%% %14s %14s %14s\n",

@@ -49,7 +49,9 @@ type Config struct {
 	// SampleSizes are the two profiling sample sizes used for linear
 	// extrapolation; defaults to {256, 512} (the paper uses 512/1024).
 	SampleSizes [2]int
-	// Parallelism bounds the execution context; 0 = NumCPU.
+	// Parallelism bounds the execution context (partition workers) and
+	// the executor's DAG-level worker pool; 0 = NumCPU, 1 = the
+	// sequential depth-first oracle.
 	Parallelism int
 }
 
@@ -142,8 +144,11 @@ func sampleLabels(labels, data *engine.Collection, n int) *engine.Collection {
 }
 
 // Execute runs the plan over the full training data: a pinned-set cache
-// manager holds exactly the materialization set, and the depth-first
-// executor recomputes everything else on demand.
+// manager holds exactly the materialization set, and the executor
+// recomputes everything else on demand. parallelism sizes both the
+// partition workers and the executor's stage-aware DAG scheduler
+// (0 = NumCPU); parallelism 1 selects the sequential depth-first oracle,
+// which the equivalence tests use as the reference semantics.
 func (p *Plan) Execute(data, labels *engine.Collection, parallelism int) (map[int]core.TransformOp, *engine.Collection, *core.ExecReport) {
 	ctx := engine.NewContext(parallelism)
 	var cache *engine.CacheManager
