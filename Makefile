@@ -1,9 +1,10 @@
-# Development and CI entry points. `make ci` is exactly what the GitHub
-# Actions workflow runs.
+# Development and CI entry points. `make ci` runs the same steps as the
+# GitHub Actions workflow (which additionally runs them under a
+# GOMAXPROCS {1,4} matrix).
 
 GO ?= go
 
-.PHONY: build test race vet bench-smoke bench ci
+.PHONY: build test race vet bench-smoke bench ci serve
 
 build:
 	$(GO) build ./...
@@ -24,5 +25,9 @@ bench-smoke:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# The HTTP inference server (trains the text pipeline at startup).
+serve:
+	$(GO) run ./cmd/keyserve
 
 ci: vet build race bench-smoke

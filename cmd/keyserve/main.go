@@ -1,0 +1,205 @@
+// keyserve is an HTTP JSON inference server over a fitted KeystoneML
+// pipeline, built entirely on the public keystone package: it trains the
+// paper's Figure 2 text-classification pipeline at startup (on the
+// synthetic review corpus), then serves single-document predictions with
+// micro-batching — concurrent requests transparently share batches
+// through the pipeline's lock-free serving hot path.
+//
+//	go run ./cmd/keyserve -addr :8080
+//	curl -s localhost:8080/predict -d '{"text":"this product is excellent"}'
+//	curl -s localhost:8080/predict/batch -d '{"texts":["great item","broke in a day"]}'
+//	curl -s localhost:8080/stats
+//
+// SIGINT/SIGTERM cancel startup training (via the context-aware Fit) and
+// gracefully drain the server.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"keystoneml/keystone"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		trainDocs = flag.Int("train-docs", 2000, "synthetic training corpus size")
+		features  = flag.Int("features", 5000, "vocabulary size")
+		iters     = flag.Int("iters", 15, "solver iterations")
+		workers   = flag.Int("workers", 0, "fit parallelism (0 = NumCPU)")
+		maxBatch  = flag.Int("max-batch", 32, "micro-batch size cap")
+		maxDelay  = flag.Duration("max-delay", 2*time.Millisecond, "micro-batch window")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-request budget")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("training text pipeline on %d synthetic reviews (features=%d iters=%d)...",
+		*trainDocs, *features, *iters)
+	train := keystone.SyntheticReviews(*trainDocs, 1)
+	pipe := keystone.TextPipeline(keystone.TextConfig{NumFeatures: *features, Iterations: *iters})
+	fitted, err := pipe.Fit(ctx, train.Records, train.Labels, keystone.WithWorkers(*workers))
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Print("training canceled, exiting")
+			os.Exit(0)
+		}
+		log.Fatalf("fit: %v", err)
+	}
+	info := fitted.Info()
+	log.Printf("trained in %v (optimize %v, CSE merged %d, %d cached intermediates)",
+		info.TrainTime.Round(time.Millisecond), info.OptimizeTime.Round(time.Millisecond),
+		info.CSEMerged, len(info.Cached))
+
+	batcher := keystone.NewBatcher(fitted, *maxBatch, *maxDelay)
+	defer batcher.Close()
+	srv := &server{fitted: fitted, batcher: batcher, timeout: *timeout, started: time.Now()}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", srv.predict)
+	mux.HandleFunc("/predict/batch", srv.predictBatch)
+	mux.HandleFunc("/healthz", srv.healthz)
+	mux.HandleFunc("/stats", srv.stats)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		<-ctx.Done()
+		log.Print("shutting down...")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("serving on %s (max-batch=%d, window=%v)", *addr, *maxBatch, *maxDelay)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("serve: %v", err)
+	}
+}
+
+type server struct {
+	fitted  *keystone.Fitted[string, []float64]
+	batcher *keystone.Batcher[string, []float64]
+	timeout time.Duration
+	started time.Time
+}
+
+type prediction struct {
+	Label  string    `json:"label"`
+	Scores []float64 `json:"scores"`
+}
+
+func toPrediction(scores []float64) prediction {
+	label := "negative"
+	if len(scores) > 1 && scores[1] > scores[0] {
+		label = "positive"
+	}
+	return prediction{Label: label, Scores: scores}
+}
+
+// predict scores one document, transparently sharing a micro-batch with
+// concurrent requests.
+func (s *server) predict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req struct {
+		Text string `json:"text"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	scores, err := s.batcher.Predict(ctx, req.Text)
+	if err != nil {
+		httpError(w, statusOf(err), err.Error())
+		return
+	}
+	writeJSON(w, toPrediction(scores))
+}
+
+// predictBatch scores a caller-assembled batch in one shot on the
+// pipeline's batch path (no micro-batching needed — the caller already
+// batched).
+func (s *server) predictBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req struct {
+		Texts []string `json:"texts"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	scores, err := s.fitted.TransformBatch(ctx, req.Texts)
+	if err != nil {
+		httpError(w, statusOf(err), err.Error())
+		return
+	}
+	out := struct {
+		Results []prediction `json:"results"`
+	}{Results: make([]prediction, len(scores))}
+	for i, sc := range scores {
+		out.Results[i] = toPrediction(sc)
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"status": "ok", "uptime": time.Since(s.started).String()})
+}
+
+func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
+	st := s.batcher.Stats()
+	writeJSON(w, map[string]any{
+		"batches":       st.Batches,
+		"records":       st.Records,
+		"largest_batch": st.LargestBatch,
+		"in_flight":     st.InFlight,
+		"uptime":        time.Since(s.started).String(),
+	})
+}
+
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+}

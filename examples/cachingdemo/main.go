@@ -1,87 +1,62 @@
 // Caching demo: shows the automatic materialization optimizer (Section
-// 4.3, Algorithm 1) at work. A branching image pipeline is executed with
-// (a) no caching, (b) the greedy KeystoneML cache set, and (c) an LRU
-// cache, under a tight memory budget, printing per-node recompute counts
-// so the effect of each policy is visible.
+// 4.3, Algorithm 1) at work through the public options API. A branching
+// image pipeline is fit with (a) no caching, (b) the greedy KeystoneML
+// cache set, and (c) an LRU cache, under a tight memory budget, printing
+// per-operator recompute counts so the effect of each policy is visible.
 //
 //	go run ./examples/cachingdemo
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"sort"
-	"time"
 
-	"keystoneml/internal/cluster"
-	"keystoneml/internal/core"
-	"keystoneml/internal/engine"
-	"keystoneml/internal/optimizer"
-	"keystoneml/internal/pipelines"
-	"keystoneml/internal/workload"
+	"keystoneml/keystone"
 )
 
 func main() {
-	train := workload.Images(48, 64, 3, 4, 40, 4)
-	build := func() *core.Graph {
-		return pipelines.Vision(pipelines.VisionConfig{
-			PCADims: 12, GMMComponents: 16, SampleDescs: 20, Seed: 9,
-			Iterations: 25, WithLCS: true,
-		}).Graph()
+	train := keystone.SyntheticImages(48, 64, 3, 4, 40)
+	pipe := keystone.VisionPipeline(keystone.VisionConfig{
+		PCADims: 12, GMMComponents: 16, SampleDescs: 20, Seed: 9,
+		Iterations: 25, WithLCS: true,
+	})
+
+	run := func(name string, policy keystone.CachePolicy, budget int64) *keystone.Fitted[*keystone.Image, []float64] {
+		// workers=1 keeps the recompute counts below deterministic — the
+		// parallel scheduler coalesces shared branches, which is faster
+		// but machine-dependent.
+		fitted, err := pipe.Fit(context.Background(), train.Records, train.Labels,
+			keystone.WithOptimizerLevel(keystone.LevelPipeline),
+			keystone.WithWorkers(1),
+			keystone.WithCachePolicy(policy),
+			keystone.WithCacheBudget(budget))
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-22s %8v\n", name, fitted.Info().TrainTime.Round(1e6))
+		report := fitted.TrainReport()
+		sort.Slice(report, func(a, b int) bool { return report[a].Computes > report[b].Computes })
+		for _, r := range report {
+			if r.Computes > 1 {
+				fmt.Printf("    recomputed %2dx: %s\n", r.Computes, r.Name)
+			}
+		}
+		fmt.Println()
+		return fitted
 	}
 
-	// Plan once to get the profile and the greedy cache set.
-	gPlan := build()
-	plan := optimizer.Optimize(gPlan, train.Data, train.Labels, optimizer.Config{
-		Level:      optimizer.LevelPipeline,
-		Resources:  cluster.Local(8),
-		NumClasses: train.Classes,
-	})
-	var totalBytes int64
-	for _, np := range plan.Profile.Nodes {
-		totalBytes += np.SizeBytes
-	}
+	// The uncached baseline profiles the pipeline as a side effect, which
+	// is where the state-size estimate (and hence the budget for the two
+	// cached runs) comes from — no extra probe fit needed.
+	baseline := run("no caching", keystone.CacheNone, 0)
+	totalBytes := baseline.Info().EstimatedStateBytes
 	budget := totalBytes / 20 // a 5% budget: painful but not hopeless
 	fmt.Printf("estimated intermediate state: %.1f MB; cache budget: %.1f MB\n\n",
 		float64(totalBytes)/1e6, float64(budget)/1e6)
 
-	run := func(name string, cache *engine.CacheManager) {
-		g := build()
-		// The sequential oracle (workers=1) keeps the recompute counts
-		// below deterministic — the parallel scheduler coalesces shared
-		// branches, which is faster but machine-dependent.
-		ex := core.NewExecutor(g, engine.NewContext(0), cache, train.Data, train.Labels).SetWorkers(1)
-		start := time.Now()
-		_, _, report := ex.Run()
-		fmt.Printf("%-22s %8v\n", name, time.Since(start).Round(time.Millisecond))
-		type row struct {
-			id int
-			s  *core.NodeStats
-		}
-		var rows []row
-		for id, s := range report.Nodes {
-			if s.Computes > 1 {
-				rows = append(rows, row{id, s})
-			}
-		}
-		sort.Slice(rows, func(a, b int) bool { return rows[a].s.Computes > rows[b].s.Computes })
-		for _, r := range rows {
-			fmt.Printf("    recomputed %2dx: %s\n", r.s.Computes, r.s.Name)
-		}
-		fmt.Println()
-	}
-
-	run("no caching", nil)
-
-	gGreedy := build()
-	greedyPlan := optimizer.Optimize(gGreedy, train.Data, train.Labels, optimizer.Config{
-		Level:          optimizer.LevelPipeline,
-		Resources:      cluster.Local(8),
-		NumClasses:     train.Classes,
-		MemBudgetBytes: budget,
-	})
-	fmt.Printf("greedy cache set under budget: %v\n", greedyPlan.CacheSet)
-	run("keystoneml (greedy)", engine.NewCacheManager(budget,
-		engine.NewPinnedSetPolicy(optimizer.CacheKeys(greedyPlan.CacheSet))))
-
-	run("lru", engine.NewCacheManager(budget, engine.NewLRUPolicy()))
+	greedy := run("keystoneml (greedy)", keystone.CacheAuto, budget)
+	fmt.Printf("greedy cache set under budget: %v\n\n", greedy.Info().Cached)
+	run("lru", keystone.CacheLRU, budget)
 }

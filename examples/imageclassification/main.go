@@ -1,31 +1,28 @@
 // Image classification with the Figure 5 DAG: grayscale, dense SIFT
 // descriptors, column sampling, PCA dimensionality reduction, GMM
-// vocabulary, Fisher vector encoding, normalization, and a linear solver —
-// the VOC/ImageNet pipeline of the paper, on synthetic textured images.
-// It also prints which physical operators the optimizer chose and the
-// materialization decisions, making the whole-pipeline optimizer visible.
+// vocabulary, Fisher vector encoding, normalization, and a linear
+// solver — the VOC/ImageNet pipeline of the paper, on synthetic textured
+// images, through the public keystone API. It also prints which physical
+// operators the optimizer chose and the materialization decisions,
+// making the whole-pipeline optimizer visible.
 //
 //	go run ./examples/imageclassification
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"keystoneml/internal/cluster"
-	"keystoneml/internal/core"
-	"keystoneml/internal/engine"
-	"keystoneml/internal/metrics"
-	"keystoneml/internal/optimizer"
-	"keystoneml/internal/pipelines"
-	"keystoneml/internal/workload"
+	"keystoneml/keystone"
 )
 
 func main() {
 	const classes = 4
-	train := workload.Images(64, 64, 3, classes, 5, 8)
-	test := workload.Images(32, 64, 3, classes, 6, 4)
+	train := keystone.SyntheticImages(64, 64, 3, classes, 5)
+	test := keystone.SyntheticImages(32, 64, 3, classes, 6)
 
-	pipe := pipelines.Vision(pipelines.VisionConfig{
+	pipe := keystone.VisionPipeline(keystone.VisionConfig{
 		PCADims:       16,
 		GMMComponents: 8,
 		SampleDescs:   30,
@@ -35,30 +32,27 @@ func main() {
 	})
 
 	fmt.Println("pipeline DAG:")
-	fmt.Print(pipe.Graph().String())
+	fmt.Print(pipe.String())
 
-	plan := optimizer.Optimize(pipe.Graph(), train.Data, train.Labels, optimizer.Config{
-		Level:      optimizer.LevelFull,
-		Resources:  cluster.Local(8),
-		NumClasses: classes,
-	})
-	fmt.Printf("\noptimizer: %d physical operators selected, cache set %v\n",
-		len(plan.Chosen), plan.CacheSet)
-	for node, op := range plan.Chosen {
-		fmt.Printf("  node #%d -> %s\n", node, op)
+	fitted, err := pipe.Fit(context.Background(), train.Records, train.Labels,
+		keystone.WithNumClasses(classes))
+	if err != nil {
+		log.Fatalf("fit: %v", err)
 	}
+	info := fitted.Info()
+	fmt.Printf("\noptimizer: %d physical operators selected, caching %d intermediates\n",
+		len(info.Chosen), len(info.Cached))
+	for node, op := range info.Chosen {
+		fmt.Printf("  %s -> %s\n", node, op)
+	}
+	fmt.Printf("training took %v\n", info.TrainTime)
 
-	models, _, report := plan.Execute(train.Data, train.Labels, 0)
-	fmt.Printf("training took %v\n", report.Total)
-
-	fitted := core.NewFitted(pipe.Graph(), models, engine.NewContext(0))
-	out := fitted.Apply(test.Data).Collect()
-	scores := make([][]float64, len(out))
-	for i, r := range out {
-		scores[i] = r.([]float64)
+	scores, err := fitted.TransformBatch(context.Background(), test.Records)
+	if err != nil {
+		log.Fatalf("predict: %v", err)
 	}
 	fmt.Printf("test accuracy: %.1f%% (%d classes, chance %.1f%%)\n",
-		100*metrics.Accuracy(scores, test.Truth), classes, 100.0/classes)
+		100*keystone.Accuracy(scores, test.Truth), classes, 100.0/classes)
 	fmt.Printf("test mean average precision: %.3f\n",
-		metrics.MeanAveragePrecision(scores, test.Truth, classes))
+		keystone.MeanAveragePrecision(scores, test.Truth, classes))
 }

@@ -1,21 +1,18 @@
 // Quickstart: the Figure 2 text-classification pipeline on a synthetic
-// review corpus, demonstrating the type-safe pipeline construction API,
-// full optimization, and application of the fitted pipeline to new data.
+// review corpus, built and fit entirely through the public keystone
+// package — the type-safe chainable builder, the context-aware Fit with
+// functional options, and the concurrency-safe fitted artifact's
+// single-record serving path.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"keystoneml/internal/cluster"
-	"keystoneml/internal/core"
-	"keystoneml/internal/engine"
-	"keystoneml/internal/metrics"
-	"keystoneml/internal/optimizer"
-	"keystoneml/internal/solvers"
-	"keystoneml/internal/text"
-	"keystoneml/internal/workload"
+	"keystoneml/keystone"
 )
 
 func main() {
@@ -23,48 +20,48 @@ func main() {
 	//    Trim andThen LowerCase andThen Tokenizer andThen
 	//    NGramsFeaturizer(1 to 2) andThen TermFrequency(x => 1) andThen
 	//    (CommonSparseFeatures(1e5), data) andThen (LinearSolver(), data, labels)
-	pipe := core.Input[string]()
-	p1 := core.AndThen(pipe, text.Trim())
-	p2 := core.AndThen(p1, text.LowerCase())
-	p3 := core.AndThen(p2, text.Tokenizer())
-	p4 := core.AndThen(p3, text.NGrams(1, 2))
-	p5 := core.AndThen(p4, text.TermFrequency(text.Binary))
-	p6 := core.AndThenEstimator(p5, text.NewCommonSparseFeaturesEst(5000))
-	classifier := core.AndThenLabeledEstimator(p6,
-		core.NewLabeledEst[any, []float64](&solvers.LogisticRegression{Iterations: 25}))
+	p := keystone.Input[string]().
+		Then(keystone.Trim()).
+		Then(keystone.LowerCase())
+	tokens := keystone.Then(p, keystone.Tokenizer()).
+		Then(keystone.NGrams(1, 2))
+	freqs := keystone.Then(tokens, keystone.TermFrequency())
+	features := keystone.ThenEstimator(freqs, keystone.CommonSparseFeatures(5000))
+	classifier := keystone.ThenEstimator(features, keystone.LogisticRegression(25))
 
 	// 2. Generate training and test corpora (synthetic Amazon-style
 	//    binary sentiment reviews).
-	train := workload.AmazonReviews(1000, 1, 8)
-	test := workload.AmazonReviews(250, 2, 4)
+	train := keystone.SyntheticReviews(1000, 1)
+	test := keystone.SyntheticReviews(250, 2)
 
-	// 3. Optimize: operator selection + CSE + automatic materialization.
-	plan := optimizer.Optimize(classifier.Graph(), train.Data, train.Labels, optimizer.Config{
-		Level:      optimizer.LevelFull,
-		Resources:  cluster.Local(8),
-		NumClasses: train.Classes,
-	})
+	// 3. Fit: one call runs the whole-pipeline optimizer (operator
+	//    selection + CSE + automatic materialization) and trains. The
+	//    context cancels mid-fit on Ctrl-C-style shutdowns.
+	fitted, err := classifier.Fit(context.Background(), train.Records, train.Labels)
+	if err != nil {
+		log.Fatalf("fit: %v", err)
+	}
+	info := fitted.Info()
 	fmt.Printf("optimization took %v; CSE merged %d nodes; caching %d intermediates\n",
-		plan.OptimizeTime, plan.CSEMerged, len(plan.CacheSet))
-	for node, op := range plan.Chosen {
-		fmt.Printf("  node #%d -> %s\n", node, op)
+		info.OptimizeTime, info.CSEMerged, len(info.Cached))
+	for node, op := range info.Chosen {
+		fmt.Printf("  %s -> %s\n", node, op)
 	}
+	fmt.Printf("training took %v\n", info.TrainTime)
 
-	// 4. Train.
-	models, _, report := plan.Execute(train.Data, train.Labels, 0)
-	fmt.Printf("training took %v\n", report.Total)
-
-	// 5. Predict on held-out reviews.
-	fitted := core.NewFitted(classifier.Graph(), models, engine.NewContext(0))
-	out := fitted.Apply(test.Data).Collect()
-	scores := make([][]float64, len(out))
-	for i, r := range out {
-		scores[i] = r.([]float64)
+	// 4. Predict on held-out reviews.
+	scores, err := fitted.TransformBatch(context.Background(), test.Records)
+	if err != nil {
+		log.Fatalf("predict: %v", err)
 	}
-	fmt.Printf("test accuracy: %.1f%%\n", 100*metrics.Accuracy(scores, test.Truth))
+	fmt.Printf("test accuracy: %.1f%%\n", 100*keystone.Accuracy(scores, test.Truth))
 
-	// 6. Score a single new document.
-	pred := fitted.ApplyOne("this product is excellent and works perfectly").([]float64)
+	// 5. Score a single new document on the serving hot path.
+	pred, err := fitted.Transform(context.Background(),
+		"this product is excellent and works perfectly")
+	if err != nil {
+		log.Fatalf("transform: %v", err)
+	}
 	label := "negative"
 	if pred[1] > pred[0] {
 		label = "positive"

@@ -1,21 +1,18 @@
 // Kernel SVM for phoneme-style classification via random Fourier
-// features — the paper's TIMIT pipeline. Demonstrates pipeline branching
-// and gather (two random-feature blocks concatenated) and the
-// operator-level optimizer switching solvers as the feature count grows.
+// features — the paper's TIMIT pipeline, through the public keystone
+// API. Demonstrates pipeline branching and gather (two random-feature
+// blocks concatenated) and the operator-level optimizer switching
+// solvers as the feature count grows.
 //
 //	go run ./examples/speechkernelsvm
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"keystoneml/internal/cluster"
-	"keystoneml/internal/core"
-	"keystoneml/internal/engine"
-	"keystoneml/internal/metrics"
-	"keystoneml/internal/optimizer"
-	"keystoneml/internal/pipelines"
-	"keystoneml/internal/workload"
+	"keystoneml/keystone"
 )
 
 func main() {
@@ -23,35 +20,32 @@ func main() {
 		inputDim = 64
 		classes  = 12
 	)
-	train := workload.DenseVectors(1500, inputDim, classes, 3, 8)
-	test := workload.DenseVectors(400, inputDim, classes, 4, 4)
+	train := keystone.SyntheticDenseVectors(1500, inputDim, classes, 3)
+	test := keystone.SyntheticDenseVectors(400, inputDim, classes, 4)
 
 	for _, numFeatures := range []int{64, 256, 1024} {
-		pipe := pipelines.Speech(pipelines.SpeechConfig{
+		pipe := keystone.SpeechPipeline(keystone.SpeechConfig{
 			InputDim:    inputDim,
 			NumFeatures: numFeatures,
 			Gamma:       0.01,
 			Seed:        11,
 			Iterations:  30,
 		})
-		plan := optimizer.Optimize(pipe.Graph(), train.Data, train.Labels, optimizer.Config{
-			Level:      optimizer.LevelFull,
-			Resources:  cluster.Local(8),
-			NumClasses: classes,
-		})
-		models, _, report := plan.Execute(train.Data, train.Labels, 0)
-		fitted := core.NewFitted(pipe.Graph(), models, engine.NewContext(0))
-		out := fitted.Apply(test.Data).Collect()
-		scores := make([][]float64, len(out))
-		for i, r := range out {
-			scores[i] = r.([]float64)
+		fitted, err := pipe.Fit(context.Background(), train.Records, train.Labels,
+			keystone.WithNumClasses(classes))
+		if err != nil {
+			log.Fatalf("fit (D=%d): %v", numFeatures, err)
+		}
+		scores, err := fitted.TransformBatch(context.Background(), test.Records)
+		if err != nil {
+			log.Fatalf("predict (D=%d): %v", numFeatures, err)
 		}
 		solver := "default"
-		for _, op := range plan.Chosen {
+		for _, op := range fitted.Info().Chosen {
 			solver = op
 		}
 		fmt.Printf("D=%4d features: solver=%-22s train=%8v accuracy=%.1f%%\n",
-			numFeatures, solver, report.Total.Round(1e6),
-			100*metrics.Accuracy(scores, test.Truth))
+			numFeatures, solver, fitted.Info().TrainTime.Round(1e6),
+			100*keystone.Accuracy(scores, test.Truth))
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
@@ -126,8 +127,34 @@ func (e *Executor) Run() (map[int]TransformOp, *engine.Collection, *ExecReport) 
 	return e.models, out, e.report
 }
 
+// RunContext is Run bound to a context: the executor (both schedulers),
+// the engine's partition dispatch, and every estimator fit's input
+// fetches poll ctx, so a long Fit unwinds cleanly mid-pass once ctx is
+// canceled or its deadline passes. On cancellation the partial report is
+// returned alongside an error wrapping the context error; the output
+// collection and models are nil/incomplete and must not be used.
+func (e *Executor) RunContext(ctx context.Context) (models map[int]TransformOp, out *engine.Collection, report *ExecReport, err error) {
+	if ctx != nil && ctx != context.Background() {
+		e.ctx = e.ctx.WithCancellation(ctx)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := engine.AsCanceled(r)
+			if !ok {
+				panic(r)
+			}
+			models, out, report, err = nil, nil, e.report, c
+		}
+	}()
+	start := time.Now()
+	o := e.demand(e.g.Sink)
+	e.report.Total = time.Since(start)
+	return e.models, o, e.report, nil
+}
+
 // demand materializes the output of n under the configured scheduler.
 func (e *Executor) demand(n *Node) *engine.Collection {
+	e.ctx.CheckCanceled()
 	if e.workers > 1 {
 		return e.runPass(n)
 	}
@@ -355,6 +382,7 @@ func (e *Executor) fitModel(n *Node) TransformOp {
 			return out
 		}
 	}
+	e.ctx.CheckCanceled()
 	claimSlot()
 	defer yieldSlot()
 	start := time.Now()
@@ -416,61 +444,3 @@ func concatFeatures(a, b any) any {
 	return append(out, y...)
 }
 
-// Fitted is a trained pipeline: every estimator node resolved to its
-// fitted model. Applying it never consults the training cache.
-type Fitted struct {
-	g      *Graph
-	models map[int]TransformOp
-	ctx    *engine.Context
-}
-
-// NewFitted assembles a fitted pipeline from a graph and its trained
-// models.
-func NewFitted(g *Graph, models map[int]TransformOp, ctx *engine.Context) *Fitted {
-	return &Fitted{g: g, models: models, ctx: ctx}
-}
-
-// Apply runs the transformer chain over new data. Estimator fits are
-// replaced by their trained models; within one Apply call node outputs are
-// memoized (test-time execution has no iteration, so plain memoization is
-// both correct and optimal).
-func (f *Fitted) Apply(data *engine.Collection) *engine.Collection {
-	memo := make(map[int]*engine.Collection)
-	var eval func(n *Node) *engine.Collection
-	eval = func(n *Node) *engine.Collection {
-		if c, ok := memo[n.ID]; ok {
-			return c
-		}
-		var out *engine.Collection
-		switch n.Kind {
-		case KindSource:
-			out = data
-		case KindLabels:
-			panic("core: fitted pipeline must not read labels at apply time")
-		case KindTransform:
-			out = f.ctx.Map(eval(n.Deps[0]), n.Transform.Apply)
-		case KindGather:
-			out = eval(n.Deps[0])
-			for _, d := range n.Deps[1:] {
-				out = f.ctx.Zip(out, eval(d), concatFeatures)
-			}
-		case KindApplyModel:
-			model, ok := f.models[n.Deps[0].ID]
-			if !ok {
-				panic(fmt.Sprintf("core: missing fitted model for estimator node #%d", n.Deps[0].ID))
-			}
-			out = f.ctx.Map(eval(n.Deps[1]), model.Apply)
-		default:
-			panic(fmt.Sprintf("core: unexpected node kind %v at apply time", n.Kind))
-		}
-		memo[n.ID] = out
-		return out
-	}
-	return eval(f.g.Sink)
-}
-
-// ApplyOne runs a single record through the fitted pipeline.
-func (f *Fitted) ApplyOne(record any) any {
-	out := f.Apply(engine.FromSlice([]any{record}, 1))
-	return out.Collect()[0]
-}

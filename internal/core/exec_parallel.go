@@ -205,6 +205,10 @@ func (e *Executor) runPass(root *Node) *engine.Collection {
 // the waiters blocking on its result. Estimator members resolve to their
 // fitted model instead of a collection.
 func (e *Executor) produce(n *Node, ins []*engine.Collection) (out *engine.Collection) {
+	// Cooperative cancellation point: a canceled pass stops at the next
+	// node boundary; the coordinator drains in-flight members and
+	// re-raises the sentinel, which RunContext converts to an error.
+	e.ctx.CheckCanceled()
 	if n.Kind == KindEstimator {
 		e.fitModel(n)
 		return nil

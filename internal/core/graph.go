@@ -152,6 +152,33 @@ func (g *Graph) AddGather(branches []*Node) *Node {
 	return g.add(&Node{Kind: KindGather, Deps: deps})
 }
 
+// Clone returns a structurally identical copy of the graph with fresh
+// Node records (IDs preserved) sharing the operator values, which are
+// stateless by the TransformOp/EstimatorOp contract. Optimizer rewrites
+// of the clone (operator substitution, CSE dep rewiring) leave the
+// original untouched — this is what lets a public Pipeline stay reusable
+// across Fit calls.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{Nodes: make([]*Node, len(g.Nodes))}
+	for i, n := range g.Nodes {
+		c.Nodes[i] = &Node{ID: n.ID, Kind: n.Kind, Transform: n.Transform, Estimator: n.Estimator}
+	}
+	for i, n := range g.Nodes {
+		if len(n.Deps) == 0 {
+			continue
+		}
+		deps := make([]*Node, len(n.Deps))
+		for j, d := range n.Deps {
+			deps[j] = c.Nodes[d.ID]
+		}
+		c.Nodes[i].Deps = deps
+	}
+	c.Source = c.Nodes[g.Source.ID]
+	c.Labels = c.Nodes[g.Labels.ID]
+	c.Sink = c.Nodes[g.Sink.ID]
+	return c
+}
+
 // Successors returns, for every node ID, the IDs of its direct successors
 // (π(v)): the nodes that consume its output.
 func (g *Graph) Successors() map[int][]int {

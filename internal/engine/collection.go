@@ -8,6 +8,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -98,6 +99,11 @@ func FromPartitions(parts [][]any) *Collection {
 // concurrently.
 type Context struct {
 	Parallelism int
+
+	// cancel, when non-nil, is the context.Context bound by
+	// WithCancellation; collection operations poll it between partition
+	// dispatches and abort with a *Canceled panic once it is done.
+	cancel context.Context
 }
 
 // NewContext returns a Context with the given parallelism; zero or
@@ -113,12 +119,18 @@ func NewContext(parallelism int) *Context {
 // parallelism, propagating the first panic as a wrapped error-panic so
 // failures in worker goroutines are not lost.
 func (ctx *Context) forEachPartition(c *Collection, f func(i int, part []any)) {
+	ctx.CheckCanceled()
 	n := c.NumPartitions()
 	sem := make(chan struct{}, ctx.Parallelism)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstPanic any
 	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			// Stop dispatching further partitions; already-running ones
+			// drain, then the coordinator raises the cancellation.
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
@@ -137,9 +149,15 @@ func (ctx *Context) forEachPartition(c *Collection, f func(i int, part []any)) {
 		}(i)
 	}
 	wg.Wait()
+	// A genuine worker panic outranks concurrent cancellation — masking
+	// a real bug as "canceled" would hide it from every log line.
 	if firstPanic != nil {
+		if c, ok := AsCanceled(firstPanic); ok {
+			panic(c) // keep the typed sentinel so RunContext can recover it
+		}
 		panic(fmt.Sprintf("engine: worker panic: %v", firstPanic))
 	}
+	ctx.CheckCanceled()
 }
 
 // Map applies f to every record, preserving partitioning.

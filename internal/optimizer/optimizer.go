@@ -1,6 +1,7 @@
 package optimizer
 
 import (
+	"context"
 	"time"
 
 	"keystoneml/internal/cluster"
@@ -88,6 +89,32 @@ type Plan struct {
 // data. It mutates g in place (operator substitution, CSE dep rewrites)
 // and returns the plan; at LevelNone it returns an empty plan immediately.
 func Optimize(g *core.Graph, data, labels *engine.Collection, cfg Config) *Plan {
+	return optimize(g, data, labels, cfg, engine.NewContext(cfg.Parallelism))
+}
+
+// OptimizeContext is Optimize bound to a context: the sampling and
+// profiling runs poll ctx between partition dispatches and estimator
+// passes, so a canceled Fit does not sit through profiling first. On
+// cancellation the (partially rewritten) plan is discarded and the
+// context error is returned.
+func OptimizeContext(ctx context.Context, g *core.Graph, data, labels *engine.Collection, cfg Config) (plan *Plan, err error) {
+	ectx := engine.NewContext(cfg.Parallelism)
+	if ctx != nil && ctx != context.Background() {
+		ectx = ectx.WithCancellation(ctx)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := engine.AsCanceled(r)
+			if !ok {
+				panic(r)
+			}
+			plan, err = nil, c
+		}
+	}()
+	return optimize(g, data, labels, cfg, ectx), nil
+}
+
+func optimize(g *core.Graph, data, labels *engine.Collection, cfg Config, ctx *engine.Context) *Plan {
 	plan := &Plan{Graph: g, Chosen: map[int]string{}, Level: cfg.Level}
 	if cfg.Level == LevelNone {
 		return plan
@@ -95,7 +122,6 @@ func Optimize(g *core.Graph, data, labels *engine.Collection, cfg Config) *Plan 
 	start := time.Now()
 	plan.CSEMerged = CSE(g)
 
-	ctx := engine.NewContext(cfg.Parallelism)
 	fullN := data.Count()
 	s1, s2 := cfg.samples()
 	selectOps := cfg.Level >= LevelFull
@@ -151,10 +177,27 @@ func sampleLabels(labels, data *engine.Collection, n int) *engine.Collection {
 // which the equivalence tests use as the reference semantics.
 func (p *Plan) Execute(data, labels *engine.Collection, parallelism int) (map[int]core.TransformOp, *engine.Collection, *core.ExecReport) {
 	ctx := engine.NewContext(parallelism)
-	var cache *engine.CacheManager
-	if p.Level > LevelNone && len(p.CacheSet) > 0 {
-		cache = engine.NewCacheManager(0, engine.NewPinnedSetPolicy(CacheKeys(p.CacheSet)))
-	}
-	ex := core.NewExecutor(p.Graph, ctx, cache, data, labels)
+	ex := core.NewExecutor(p.Graph, ctx, p.DefaultCache(0), data, labels)
 	return ex.Run()
+}
+
+// DefaultCache builds the plan's canonical cache manager: a pinned set
+// holding exactly the materialization set under the given byte budget
+// (non-positive = unlimited). It returns nil — no caching at all — when
+// the plan materializes nothing.
+func (p *Plan) DefaultCache(budget int64) *engine.CacheManager {
+	if p.Level == LevelNone || len(p.CacheSet) == 0 {
+		return nil
+	}
+	return engine.NewCacheManager(budget, engine.NewPinnedSetPolicy(CacheKeys(p.CacheSet)))
+}
+
+// ExecuteContext is Execute bound to a context and an explicit cache
+// manager (nil disables materialization; use DefaultCache for the plan's
+// pinned set). Cancellation mid-fit returns the context error along with
+// the partial execution report.
+func (p *Plan) ExecuteContext(ctx context.Context, data, labels *engine.Collection, parallelism int, cache *engine.CacheManager) (map[int]core.TransformOp, *engine.Collection, *core.ExecReport, error) {
+	ectx := engine.NewContext(parallelism)
+	ex := core.NewExecutor(p.Graph, ectx, cache, data, labels)
+	return ex.RunContext(ctx)
 }

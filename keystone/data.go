@@ -1,0 +1,60 @@
+package keystone
+
+import (
+	"keystoneml/internal/workload"
+)
+
+// Dataset bundles a typed record set with one-hot labels and integer
+// ground truth, ready to pass to Fit.
+type Dataset[I any] struct {
+	Records []I
+	Labels  [][]float64 // one-hot, aligned with Records
+	Truth   []int       // integer class per record
+	Classes int
+}
+
+// OneHot expands integer class labels into the one-hot vectors Fit
+// consumes.
+func OneHot(truth []int, classes int) [][]float64 {
+	out := make([][]float64, len(truth))
+	for i, c := range truth {
+		y := make([]float64, classes)
+		y[c] = 1
+		out[i] = y
+	}
+	return out
+}
+
+// fromWorkload converts an internal generated dataset to the typed form.
+func fromWorkload[I any](l workload.Labeled) Dataset[I] {
+	raw := l.Data.Collect()
+	recs := make([]I, len(raw))
+	for i, r := range raw {
+		recs[i] = r.(I)
+	}
+	return Dataset[I]{
+		Records: recs,
+		Labels:  OneHot(l.Truth, l.Classes),
+		Truth:   l.Truth,
+		Classes: l.Classes,
+	}
+}
+
+// SyntheticReviews generates a binary-sentiment review corpus shaped like
+// the paper's Amazon workload (deterministic in seed).
+func SyntheticReviews(n int, seed uint64) Dataset[string] {
+	return fromWorkload[string](workload.AmazonReviews(n, seed, 1))
+}
+
+// SyntheticDenseVectors generates class-structured dense vectors shaped
+// like the TIMIT features (deterministic in seed).
+func SyntheticDenseVectors(n, dim, classes int, seed uint64) Dataset[[]float64] {
+	return fromWorkload[[]float64](workload.DenseVectors(n, dim, classes, seed, 1))
+}
+
+// SyntheticImages generates striped synthetic images with
+// class-conditional texture, standing in for the VOC/ImageNet/CIFAR
+// corpora (deterministic in seed).
+func SyntheticImages(n, size, channels, classes int, seed uint64) Dataset[*Image] {
+	return fromWorkload[*Image](workload.Images(n, size, channels, classes, seed, 1))
+}

@@ -1,0 +1,265 @@
+package keystone
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"keystoneml/internal/core"
+	"keystoneml/internal/engine"
+	"keystoneml/internal/optimizer"
+)
+
+// Fit trains the pipeline on records (with one-hot label vectors for
+// supervised pipelines; nil for unsupervised) and returns the fitted
+// artifact. The pipeline itself is not mutated — optimization rewrites a
+// private clone of the DAG — so the same Pipeline value can be fit again
+// with different data or options.
+//
+// ctx cancels the whole call cooperatively: profiling, estimator fits
+// (mid-pass, between partition dispatches), and the DAG schedulers all
+// poll it, and errors.Is(err, context.Canceled) (or DeadlineExceeded)
+// reports why a canceled Fit stopped.
+func (p *Pipeline[I, O]) Fit(ctx context.Context, records []I, labels [][]float64, opts ...Option) (fitted *Fitted[I, O], err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("keystone: Fit requires at least one training record")
+	}
+	if labels != nil && len(labels) != len(records) {
+		return nil, fmt.Errorf("keystone: %d records but %d labels", len(records), len(labels))
+	}
+	if labels == nil && p.usesLabels() {
+		return nil, fmt.Errorf("keystone: pipeline contains a supervised estimator but Fit was called with nil labels")
+	}
+	// The public boundary converts internal panics (operator type
+	// mismatches, user NewOp functions panicking on a record) into
+	// errors instead of crashing the caller.
+	defer func() {
+		if r := recover(); r != nil {
+			fitted, err = nil, fmt.Errorf("keystone: fit panicked: %v", r)
+		}
+	}()
+	cfg := defaultFitConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	classes := cfg.numClasses
+	if classes == 0 && len(labels) > 0 {
+		classes = len(labels[0])
+	}
+
+	parts := cfg.partitionsOr(len(records))
+	boxed := make([]any, len(records))
+	for i, r := range records {
+		boxed[i] = r
+	}
+	data := engine.FromSlice(boxed, parts)
+	var lab *engine.Collection
+	if labels != nil {
+		boxedLab := make([]any, len(labels))
+		for i, l := range labels {
+			boxedLab[i] = l
+		}
+		lab = engine.FromSlice(boxedLab, parts)
+	}
+
+	// Optimize and train a private clone; p's DAG stays pristine.
+	g := p.g.Clone()
+	g.Sink = g.Nodes[p.out.ID]
+
+	// Logical operator names, captured before operator substitution
+	// rewrites the nodes in place, so FitInfo can report
+	// logical -> physical.
+	logical := make(map[int]string, len(g.Nodes))
+	for _, n := range g.Nodes {
+		logical[n.ID] = n.OpName()
+	}
+
+	plan, err := optimizer.OptimizeContext(ctx, g, data, lab, cfg.optimizerConfig(classes))
+	if err != nil {
+		return nil, fmt.Errorf("keystone: optimize: %w", err)
+	}
+	models, _, report, err := plan.ExecuteContext(ctx, data, lab, cfg.workers, cfg.cache(plan))
+	if err != nil {
+		return nil, fmt.Errorf("keystone: fit: %w", err)
+	}
+
+	inner := core.NewFitted(plan.Graph, models, engine.NewContext(cfg.workers))
+	return &Fitted[I, O]{
+		inner:  inner,
+		info:   newFitInfo(plan, report, logical),
+		report: nodeReports(plan.Graph, report),
+	}, nil
+}
+
+// usesLabels reports whether any estimator reachable from the output
+// reads the label source.
+func (p *Pipeline[I, O]) usesLabels() bool {
+	seen := make(map[int]bool)
+	var walk func(n *core.Node) bool
+	walk = func(n *core.Node) bool {
+		if seen[n.ID] {
+			return false
+		}
+		seen[n.ID] = true
+		if n == p.g.Labels {
+			return true
+		}
+		for _, d := range n.Deps {
+			if walk(d) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(p.out)
+}
+
+// Fitted is a trained pipeline from I records to O records. It is
+// immutable and safe for any number of concurrent callers; Transform is
+// the single-record serving hot path (no batch assembly, no partition
+// machinery, no goroutines).
+type Fitted[I, O any] struct {
+	inner  *core.Fitted
+	info   FitInfo
+	report []NodeReport
+}
+
+// Transform runs one record through the fitted pipeline. ctx is checked
+// on entry (single-record evaluation is short; it does not poll
+// mid-chain).
+func (f *Fitted[I, O]) Transform(ctx context.Context, record I) (O, error) {
+	var zero O
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+	}
+	out := f.inner.TransformOne(record)
+	o, ok := out.(O)
+	if !ok {
+		return zero, fmt.Errorf("keystone: pipeline produced %T, want %T", out, zero)
+	}
+	return o, nil
+}
+
+// TransformBatch runs a batch through the fitted pipeline: small batches
+// record-by-record on the calling goroutine, large ones fanned out across
+// the engine workers, with bit-identical outputs either way. ctx is
+// polled between records; on cancellation the partial batch is discarded
+// and the context error returned.
+func (f *Fitted[I, O]) TransformBatch(ctx context.Context, records []I) ([]O, error) {
+	boxed := make([]any, len(records))
+	for i, r := range records {
+		boxed[i] = r
+	}
+	raw, err := f.inner.TransformBatch(ctx, boxed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]O, len(raw))
+	for i, r := range raw {
+		o, ok := r.(O)
+		if !ok {
+			return nil, fmt.Errorf("keystone: pipeline produced %T, want %T", r, out[i])
+		}
+		out[i] = o
+	}
+	return out, nil
+}
+
+// Info reports what the optimizer decided and what training cost.
+func (f *Fitted[I, O]) Info() FitInfo { return f.info }
+
+// TrainReport returns per-operator execution statistics from the Fit run
+// (compute counts, cache hits, local time), in DAG order.
+func (f *Fitted[I, O]) TrainReport() []NodeReport {
+	out := make([]NodeReport, len(f.report))
+	copy(out, f.report)
+	return out
+}
+
+// FitInfo summarizes one Fit call: optimizer decisions and wall times.
+type FitInfo struct {
+	// OptimizeTime is the optimization overhead (sampling + profiling +
+	// planning); TrainTime the full-data execution.
+	OptimizeTime time.Duration
+	TrainTime    time.Duration
+	// CSEMerged counts DAG nodes eliminated as common subexpressions.
+	CSEMerged int
+	// Cached lists the operators whose outputs the planner pinned in
+	// memory for the fit.
+	Cached []string
+	// Chosen maps optimizable nodes ("#id logical-name", captured before
+	// substitution) to the physical implementation the operator-level
+	// optimizer selected for them.
+	Chosen map[string]string
+	// EstimatedStateBytes is the profiled estimate of all intermediate
+	// state the pipeline produces over the full dataset — the quantity a
+	// cache budget is set against. Zero when profiling did not run
+	// (LevelNone).
+	EstimatedStateBytes int64
+}
+
+// NodeReport is one operator's execution record from a Fit run.
+type NodeReport struct {
+	Name      string
+	Kind      string
+	Computes  int           // times the operator ran
+	CacheHits int           // accesses served from the cache
+	Coalesced int           // accesses coalesced onto in-flight computes
+	Time      time.Duration // total local compute time
+}
+
+func newFitInfo(plan *optimizer.Plan, report *core.ExecReport, logical map[int]string) FitInfo {
+	info := FitInfo{
+		OptimizeTime: plan.OptimizeTime,
+		TrainTime:    report.Total,
+		CSEMerged:    plan.CSEMerged,
+		Chosen:       make(map[string]string, len(plan.Chosen)),
+	}
+	names := make(map[int]string, len(plan.Graph.Nodes))
+	for _, n := range plan.Graph.Nodes {
+		names[n.ID] = n.OpName()
+	}
+	for _, nid := range plan.CacheSet {
+		info.Cached = append(info.Cached, names[nid])
+	}
+	sort.Strings(info.Cached)
+	for id, op := range plan.Chosen {
+		// Key by node id + pre-substitution logical name: the graph node
+		// itself now carries the physical operator, and two branches can
+		// share a logical name.
+		info.Chosen[fmt.Sprintf("#%d %s", id, logical[id])] = op
+	}
+	if plan.Profile != nil {
+		for _, np := range plan.Profile.Nodes {
+			info.EstimatedStateBytes += np.SizeBytes
+		}
+	}
+	return info
+}
+
+func nodeReports(g *core.Graph, report *core.ExecReport) []NodeReport {
+	ids := make([]int, 0, len(report.Nodes))
+	for id := range report.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]NodeReport, 0, len(ids))
+	for _, id := range ids {
+		s := report.Nodes[id]
+		out = append(out, NodeReport{
+			Name:      s.Name,
+			Kind:      s.Kind.String(),
+			Computes:  s.Computes,
+			CacheHits: s.Hits,
+			Coalesced: s.Coalesced,
+			Time:      s.Time,
+		})
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package keystone
+
+import (
+	"keystoneml/internal/metrics"
+)
+
+// Accuracy is the fraction of records whose arg-max score matches the
+// true class.
+func Accuracy(scores [][]float64, truth []int) float64 {
+	return metrics.Accuracy(scores, truth)
+}
+
+// MeanAveragePrecision is the mean over classes of average precision,
+// the VOC evaluation metric.
+func MeanAveragePrecision(scores [][]float64, truth []int, numClasses int) float64 {
+	return metrics.MeanAveragePrecision(scores, truth, numClasses)
+}
+
+// TopKError is the fraction of records whose true class is not among the
+// k highest scores, the ImageNet evaluation metric.
+func TopKError(scores [][]float64, truth []int, k int) float64 {
+	return metrics.TopKError(scores, truth, k)
+}
+
+// Argmax returns the index of the highest score per record.
+func Argmax(scores [][]float64) []int {
+	return metrics.ArgmaxAll(scores)
+}

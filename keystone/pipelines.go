@@ -1,0 +1,99 @@
+package keystone
+
+import (
+	"keystoneml/internal/pipelines"
+)
+
+// Prebuilt pipelines: the five end-to-end applications of the paper's
+// evaluation (Table 4), assembled from the operator library. Each builder
+// returns an ordinary unfitted Pipeline that can be extended with Then or
+// fit directly.
+
+// TextConfig parameterizes the Amazon review-classification pipeline.
+type TextConfig struct {
+	NumFeatures int // vocabulary size (paper: 100k)
+	Iterations  int // solver pass budget
+}
+
+// TextPipeline builds the Figure 2 text classification pipeline:
+// Trim → LowerCase → Tokenize → NGrams(1,2) → TermFrequency →
+// CommonSparseFeatures → LogisticRegression.
+func TextPipeline(cfg TextConfig) *Pipeline[string, []float64] {
+	p := pipelines.Text(pipelines.TextConfig{
+		NumFeatures: cfg.NumFeatures,
+		Iterations:  cfg.Iterations,
+	})
+	return &Pipeline[string, []float64]{g: p.Graph(), out: p.OutputNode()}
+}
+
+// SpeechConfig parameterizes the TIMIT kernel-SVM pipeline.
+type SpeechConfig struct {
+	InputDim    int     // raw feature dimensionality (paper: 440)
+	NumFeatures int     // total random cosine features across both blocks
+	Gamma       float64 // RBF bandwidth; 0 picks a dimension-scaled default
+	Seed        uint64
+	Iterations  int
+}
+
+// SpeechPipeline builds the TIMIT pipeline: two gathered random-feature
+// blocks followed by the cost-model-selected linear solver.
+func SpeechPipeline(cfg SpeechConfig) *Pipeline[[]float64, []float64] {
+	p := pipelines.Speech(pipelines.SpeechConfig{
+		InputDim:    cfg.InputDim,
+		NumFeatures: cfg.NumFeatures,
+		Gamma:       cfg.Gamma,
+		Seed:        cfg.Seed,
+		Iterations:  cfg.Iterations,
+	})
+	return &Pipeline[[]float64, []float64]{g: p.Graph(), out: p.OutputNode()}
+}
+
+// VisionConfig parameterizes the VOC / ImageNet Fisher-vector pipelines.
+type VisionConfig struct {
+	PCADims       int // descriptor dims after PCA (paper: 64/80)
+	GMMComponents int // Fisher vocabulary size (paper: 16/256)
+	SampleDescs   int // descriptors sampled per image for PCA/GMM fitting
+	Seed          uint64
+	Iterations    int
+	WithLCS       bool // add the color-statistics branch (ImageNet variant)
+}
+
+// VisionPipeline builds the Figure 5 image classification DAG: SIFT
+// descriptors, column-sampled PCA, GMM, Fisher vector encoding,
+// normalization, linear solver — plus a gathered LCS color branch when
+// WithLCS is set.
+func VisionPipeline(cfg VisionConfig) *Pipeline[*Image, []float64] {
+	p := pipelines.Vision(pipelines.VisionConfig{
+		PCADims:       cfg.PCADims,
+		GMMComponents: cfg.GMMComponents,
+		SampleDescs:   cfg.SampleDescs,
+		Seed:          cfg.Seed,
+		Iterations:    cfg.Iterations,
+		WithLCS:       cfg.WithLCS,
+	})
+	return &Pipeline[*Image, []float64]{g: p.Graph(), out: p.OutputNode()}
+}
+
+// CifarConfig parameterizes the CIFAR-10 convolutional pipeline.
+type CifarConfig struct {
+	PatchSize  int // convolution filter size (paper: 6)
+	NumFilters int // filter bank size
+	PoolSize   int
+	Alpha      float64 // rectifier threshold
+	Seed       uint64
+	Iterations int
+}
+
+// CifarPipeline builds the CIFAR-10 pipeline: learned whitened patch
+// filters, convolution, symmetric rectification, pooling, linear solver.
+func CifarPipeline(cfg CifarConfig) *Pipeline[*Image, []float64] {
+	p := pipelines.Cifar(pipelines.CifarConfig{
+		PatchSize:  cfg.PatchSize,
+		NumFilters: cfg.NumFilters,
+		PoolSize:   cfg.PoolSize,
+		Alpha:      cfg.Alpha,
+		Seed:       cfg.Seed,
+		Iterations: cfg.Iterations,
+	})
+	return &Pipeline[*Image, []float64]{g: p.Graph(), out: p.OutputNode()}
+}

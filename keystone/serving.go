@@ -1,0 +1,189 @@
+package keystone
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrBatcherClosed is returned by Predict after Close.
+var ErrBatcherClosed = errors.New("keystone: batcher closed")
+
+// Batcher coalesces concurrent single-record Predict calls into batched
+// TransformBatch invocations: a batch is flushed when it reaches MaxBatch
+// records or MaxDelay after its first record, whichever comes first. This
+// is the serving-side micro-batching pattern — callers keep a
+// one-record-at-a-time API while the pipeline sees amortized batches.
+//
+// A Batcher is safe for any number of concurrent Predict callers.
+type Batcher[I, O any] struct {
+	fitted   *Fitted[I, O]
+	maxBatch int
+	maxDelay time.Duration
+
+	reqs chan batchReq[I, O]
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	batches  atomic.Int64
+	records  atomic.Int64
+	largest  atomic.Int64
+	inflight atomic.Int64
+}
+
+type batchReq[I, O any] struct {
+	ctx  context.Context
+	rec  I
+	resp chan batchResp[O]
+}
+
+type batchResp[O any] struct {
+	out O
+	err error
+}
+
+// NewBatcher wraps a fitted pipeline in a micro-batching front. maxBatch
+// <= 0 defaults to 32; maxDelay <= 0 defaults to 2ms.
+func NewBatcher[I, O any](f *Fitted[I, O], maxBatch int, maxDelay time.Duration) *Batcher[I, O] {
+	if maxBatch <= 0 {
+		maxBatch = 32
+	}
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Millisecond
+	}
+	b := &Batcher[I, O]{
+		fitted:   f,
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		reqs:     make(chan batchReq[I, O], maxBatch),
+		quit:     make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.loop()
+	return b
+}
+
+// Predict runs one record through the pipeline, transparently sharing a
+// batch with concurrent callers. It honors ctx while queued; once its
+// batch starts executing the result is computed regardless (and discarded
+// if the caller has gone).
+func (b *Batcher[I, O]) Predict(ctx context.Context, rec I) (O, error) {
+	var zero O
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req := batchReq[I, O]{ctx: ctx, rec: rec, resp: make(chan batchResp[O], 1)}
+	select {
+	case b.reqs <- req:
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	case <-b.quit:
+		return zero, ErrBatcherClosed
+	}
+	select {
+	case r := <-req.resp:
+		return r.out, r.err
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	case <-b.quit:
+		return zero, ErrBatcherClosed
+	}
+}
+
+// Close stops the batch loop. Queued requests fail with ErrBatcherClosed;
+// Close waits for the loop to exit.
+func (b *Batcher[I, O]) Close() {
+	close(b.quit)
+	b.wg.Wait()
+}
+
+// BatcherStats is a point-in-time snapshot of batching behaviour.
+type BatcherStats struct {
+	Batches      int64 // flushed batches
+	Records      int64 // records served through batches
+	LargestBatch int64 // largest batch observed
+	InFlight     int64 // requests currently queued or executing
+}
+
+// Stats snapshots the batcher counters.
+func (b *Batcher[I, O]) Stats() BatcherStats {
+	return BatcherStats{
+		Batches:      b.batches.Load(),
+		Records:      b.records.Load(),
+		LargestBatch: b.largest.Load(),
+		InFlight:     b.inflight.Load(),
+	}
+}
+
+func (b *Batcher[I, O]) loop() {
+	defer b.wg.Done()
+	for {
+		select {
+		case first := <-b.reqs:
+			batch := make([]batchReq[I, O], 1, b.maxBatch)
+			batch[0] = first
+			timer := time.NewTimer(b.maxDelay)
+		fill:
+			for len(batch) < b.maxBatch {
+				select {
+				case r := <-b.reqs:
+					batch = append(batch, r)
+				case <-timer.C:
+					break fill
+				case <-b.quit:
+					timer.Stop()
+					b.fail(batch)
+					return
+				}
+			}
+			timer.Stop()
+			b.flush(batch)
+		case <-b.quit:
+			return
+		}
+	}
+}
+
+// flush executes one batch and fans results back to the waiters.
+// Requests whose callers abandoned ship while queued are dropped before
+// the pipeline runs.
+func (b *Batcher[I, O]) flush(batch []batchReq[I, O]) {
+	live := batch[:0]
+	for _, r := range batch {
+		if r.ctx.Err() == nil {
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	b.inflight.Add(int64(len(live)))
+	defer b.inflight.Add(-int64(len(live)))
+	recs := make([]I, len(live))
+	for i, r := range live {
+		recs[i] = r.rec
+	}
+	outs, err := b.fitted.TransformBatch(context.Background(), recs)
+	b.batches.Add(1)
+	b.records.Add(int64(len(live)))
+	if n := int64(len(live)); n > b.largest.Load() {
+		b.largest.Store(n)
+	}
+	for i, r := range live {
+		if err != nil {
+			r.resp <- batchResp[O]{err: err}
+			continue
+		}
+		r.resp <- batchResp[O]{out: outs[i]}
+	}
+}
+
+// fail rejects a batch that could not be executed because the batcher is
+// shutting down.
+func (b *Batcher[I, O]) fail(batch []batchReq[I, O]) {
+	for _, r := range batch {
+		r.resp <- batchResp[O]{err: ErrBatcherClosed}
+	}
+}

@@ -1,0 +1,149 @@
+package keystone
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fitTinyText(t *testing.T) (*Fitted[string, []float64], []string) {
+	t.Helper()
+	train := SyntheticReviews(100, 1)
+	test := SyntheticReviews(20, 2)
+	p := TextPipeline(TextConfig{NumFeatures: 400, Iterations: 5})
+	f, err := p.Fit(context.Background(), train.Records, train.Labels, quickOpts()...)
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	return f, test.Records
+}
+
+// TestBatcherCorrectness: every Predict through the micro-batcher must
+// return exactly what a direct Transform returns, under heavy
+// concurrency (this is also a -race stress of the serving stack).
+func TestBatcherCorrectness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f, recs := fitTinyText(t)
+	want := make([][]float64, len(recs))
+	for i, r := range recs {
+		w, err := f.Transform(context.Background(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = w
+	}
+
+	b := NewBatcher(f, 8, 5*time.Millisecond)
+	defer b.Close()
+
+	const callers = 16
+	const iters = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	start := make(chan struct{})
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			for it := 0; it < iters; it++ {
+				i := (c*iters + it) % len(recs)
+				got, err := b.Predict(context.Background(), recs[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := range want[i] {
+					if got[j] != want[i][j] {
+						errs <- errors.New("batched prediction diverged from direct Transform")
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := b.Stats()
+	if st.Records != callers*iters {
+		t.Fatalf("served %d records, want %d", st.Records, callers*iters)
+	}
+	if st.Batches <= 0 || st.Batches > st.Records {
+		t.Fatalf("implausible batch count %d for %d records", st.Batches, st.Records)
+	}
+	t.Logf("batches=%d records=%d largest=%d", st.Batches, st.Records, st.LargestBatch)
+}
+
+// TestBatcherCoalesces: a synchronized burst with a generous window must
+// actually share batches (micro-batching, not one-by-one dispatch).
+func TestBatcherCoalesces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f, recs := fitTinyText(t)
+	b := NewBatcher(f, 16, 100*time.Millisecond)
+	defer b.Close()
+
+	const burst = 12
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < burst; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			if _, err := b.Predict(context.Background(), recs[c%len(recs)]); err != nil {
+				t.Errorf("predict: %v", err)
+			}
+		}(c)
+	}
+	close(start)
+	wg.Wait()
+	if st := b.Stats(); st.LargestBatch < 2 {
+		t.Fatalf("burst of %d never coalesced (largest batch %d)", burst, st.LargestBatch)
+	}
+}
+
+// TestBatcherClose: after Close, Predict fails with ErrBatcherClosed and
+// does not hang.
+func TestBatcherClose(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f, recs := fitTinyText(t)
+	b := NewBatcher(f, 4, time.Millisecond)
+	b.Close()
+	if _, err := b.Predict(context.Background(), recs[0]); !errors.Is(err, ErrBatcherClosed) {
+		t.Fatalf("want ErrBatcherClosed, got %v", err)
+	}
+}
+
+// TestBatcherCallerCancel: a Predict whose context dies while queued
+// returns the context error.
+func TestBatcherCallerCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f, recs := fitTinyText(t)
+	// A huge delay window so the request sits queued until the context
+	// fires.
+	b := NewBatcher(f, 64, time.Minute)
+	defer b.Close()
+	// Occupy the window with one live request so the loop is waiting.
+	go b.Predict(context.Background(), recs[0])
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := b.Predict(ctx, recs[1]); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
