@@ -1,10 +1,13 @@
-# Development and CI entry points. `make ci` runs the same steps as the
-# GitHub Actions workflow (which additionally runs them under a
-# GOMAXPROCS {1,4} matrix).
+# Development and CI entry points. `make ci` runs the workflow's test
+# job steps (vet/build/race/bench-smoke); the GitHub Actions workflow
+# additionally runs them under a GOMAXPROCS {1,4} matrix plus the
+# `bench-sched` experiment and a `staticcheck` job — run those targets
+# too before pushing anything non-trivial (staticcheck downloads the
+# tool on first use, so it needs the network once).
 
 GO ?= go
 
-.PHONY: build test race vet bench-smoke bench ci serve
+.PHONY: build test race vet staticcheck bench-smoke bench bench-sched ci serve
 
 build:
 	$(GO) build ./...
@@ -18,6 +21,16 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Static analysis beyond vet; CI runs it on every push. Uses the PATH
+# install when present, otherwise runs the pinned version via go run
+# (no PATH assumptions).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@2024.1.1 ./...; \
+	fi
+
 # A short benchmark pass at Quick scale: compiles every benchmark and
 # runs each once, catching bit-rot without CI-hostile runtimes.
 bench-smoke:
@@ -25,6 +38,13 @@ bench-smoke:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Smoke the schedule-plan benchmark: the branchy-DAG experiment where
+# the makespan-aware pin set must beat the sequential-model pin set,
+# on a single-proc and a multi-proc schedule.
+bench-sched:
+	GOMAXPROCS=1 $(GO) run ./cmd/keybench -exp sched
+	GOMAXPROCS=4 $(GO) run ./cmd/keybench -exp sched
 
 # The HTTP inference server (trains the text pipeline at startup).
 serve:

@@ -106,12 +106,12 @@ func BenchmarkAblationPlanner(b *testing.B) {
 	}
 	b.Run("greedy", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			optimizer.GreedyCacheSet(g, prof, 500)
+			optimizer.GreedyCacheSet(g, prof, 500, 1)
 		}
 	})
 	b.Run("exact", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			optimizer.ExactCacheSet(g, prof, 500)
+			optimizer.ExactCacheSet(g, prof, 500, 1)
 		}
 	})
 }

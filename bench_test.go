@@ -215,7 +215,7 @@ func BenchmarkFig11GreedyPlanner(b *testing.B) {
 	})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		optimizer.GreedyCacheSet(g, plan.Profile, 1<<20)
+		optimizer.GreedyCacheSet(g, plan.Profile, 1<<20, 1)
 	}
 }
 
@@ -289,6 +289,18 @@ func BenchmarkParallelDAG(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkSchedPlanPinSets runs the branchy-DAG schedule-plan
+// experiment (sequential-model vs makespan-model pin sets at equal
+// budget, executed on the real parallel scheduler). `make bench-sched`
+// drives the same experiment through keybench at GOMAXPROCS 1 and 4;
+// the branch latencies are sleeps, so the makespan-aware set's win
+// survives single-core hosts.
+func BenchmarkSchedPlanPinSets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.SchedulePlanExp(io.Discard, experiments.Quick)
 	}
 }
 

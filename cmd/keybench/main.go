@@ -7,7 +7,7 @@
 //	keybench -scale full     # larger sizes, sharper ratios
 //
 // Experiments: table1 fig6 table2 fig7 costmodel table3 table5 fig8
-// table6 fig9 fig10 fig11 fig12 parallel.
+// table6 fig9 fig10 fig11 fig12 parallel sched.
 package main
 
 import (
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig6, table2, fig7, costmodel, table3, table5, fig8, table6, fig9, fig10, fig11, fig12, parallel)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig6, table2, fig7, costmodel, table3, table5, fig8, table6, fig9, fig10, fig11, fig12, parallel, sched)")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	flag.Parse()
 
@@ -48,6 +48,7 @@ func main() {
 		{"fig11", func() { experiments.Figure11(w, scale) }},
 		{"fig12", func() { experiments.Figure12(w) }},
 		{"parallel", func() { experiments.ParallelExec(w, scale) }},
+		{"sched", func() { experiments.SchedulePlanExp(w, scale) }},
 	}
 
 	ran := false

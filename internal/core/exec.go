@@ -71,11 +71,25 @@ type Executor struct {
 	workers int
 	slots   chan struct{} // bounded worker pool, nil in sequential mode
 
-	mu          sync.Mutex // guards models, report, flight maps
+	// policy selects the parallel dispatcher's ready-set ordering;
+	// plan, when set, is the optimizer's shared schedule plan (profile
+	// priorities + refetch sets) and additionally enables speculative
+	// cross-pass retention. dispatch is the plan priorities actually
+	// drive dispatch with: the attached plan, or a lazily built
+	// structural fallback (unit times) when none was threaded through.
+	policy SchedulerPolicy
+	plan   *SchedulePlan
+
+	mu          sync.Mutex // guards models, report, flight maps, dispatch, pendingRefetch
+	dispatch    *SchedulePlan
 	models      map[int]TransformOp
 	report      *ExecReport
 	flight      map[int]*flight
 	modelFlight map[int]*modelFlight
+	// pendingRefetch counts, per node, the estimators whose fits will
+	// still refetch it — while positive, a computed-but-unpinnable pass
+	// result is worth retaining speculatively (budget permitting).
+	pendingRefetch map[int]int
 }
 
 // NewExecutor binds a graph to training data and an execution context.
@@ -118,9 +132,98 @@ func (e *Executor) SetWorkers(n int) *Executor {
 // Workers returns the DAG-level parallelism bound.
 func (e *Executor) Workers() int { return e.workers }
 
+// SetSchedulePlan attaches the shared schedule plan the optimizer built
+// for this graph. The parallel dispatcher orders ready nodes by the
+// plan's critical-path priorities, and speculative cross-pass retention
+// activates: a pass result that the pinned-set policy rejects is kept in
+// the cache's free headroom while an estimator that will refetch it is
+// still fitting, then released. Without a plan the dispatcher falls back
+// to structural (unit-time) priorities and retention stays off. Must not
+// be called once Run has started; returns the executor for chaining.
+func (e *Executor) SetSchedulePlan(p *SchedulePlan) *Executor {
+	e.plan = p
+	e.dispatch = p
+	if p != nil {
+		e.pendingRefetch = p.RefetchCounts()
+	} else {
+		e.pendingRefetch = nil
+	}
+	return e
+}
+
+// SetSchedulerPolicy selects the parallel dispatcher's ready-set
+// ordering (SchedulerPriority by default; SchedulerFIFO restores
+// pass-plan-order dispatch and disables speculative retention). Must not
+// be called once Run has started; returns the executor for chaining.
+func (e *Executor) SetSchedulerPolicy(p SchedulerPolicy) *Executor {
+	e.policy = p
+	return e
+}
+
+// dispatchPlan returns the plan priorities the ready queue should use:
+// the attached schedule plan, or a structural fallback built on first
+// use. Returns nil under SchedulerFIFO.
+func (e *Executor) dispatchPlan() *SchedulePlan {
+	if e.policy == SchedulerFIFO {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dispatch == nil {
+		e.dispatch = NewSchedulePlan(e.g, nil, nil, e.workers)
+	}
+	return e.dispatch
+}
+
+// retainSpeculatively reports whether node id's output is still worth
+// keeping across passes: a schedule plan is attached, retention is not
+// disabled, and at least one estimator that refetches id has not
+// finished fitting.
+func (e *Executor) retainSpeculatively(id int) bool {
+	if e.plan == nil || e.policy == SchedulerFIFO {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pendingRefetch[id] > 0
+}
+
+// releaseRetained drops the speculative interest estimator estID held on
+// its refetch set; entries no other fitting estimator cares about are
+// released back to the cache budget immediately.
+func (e *Executor) releaseRetained(estID int) {
+	if e.plan == nil || e.cache == nil || e.policy == SchedulerFIFO {
+		return
+	}
+	for _, id := range e.plan.RefetchSet(estID) {
+		e.mu.Lock()
+		e.pendingRefetch[id]--
+		drop := e.pendingRefetch[id] <= 0
+		e.mu.Unlock()
+		if drop {
+			e.cache.ReleaseSpeculative(cacheKey(id))
+		}
+	}
+}
+
+// drainRetention releases every speculative entry this executor could
+// have created. Deferred from Run/RunContext: a fit that panics or is
+// canceled never reaches releaseRetained, and the cache manager may
+// outlive the executor (ExecuteContext accepts a caller-provided one),
+// so retained results must not be able to leak past the run.
+func (e *Executor) drainRetention() {
+	if e.plan == nil || e.cache == nil || e.policy == SchedulerFIFO {
+		return
+	}
+	for id := range e.plan.RefetchCounts() {
+		e.cache.ReleaseSpeculative(cacheKey(id))
+	}
+}
+
 // Run executes the DAG to the sink and returns the fitted models (keyed by
 // estimator node ID), the sink output, and the execution report.
 func (e *Executor) Run() (map[int]TransformOp, *engine.Collection, *ExecReport) {
+	defer e.drainRetention()
 	start := time.Now()
 	out := e.demand(e.g.Sink)
 	e.report.Total = time.Since(start)
@@ -137,6 +240,7 @@ func (e *Executor) RunContext(ctx context.Context) (models map[int]TransformOp, 
 	if ctx != nil && ctx != context.Background() {
 		e.ctx = e.ctx.WithCancellation(ctx)
 	}
+	defer e.drainRetention()
 	defer func() {
 		if r := recover(); r != nil {
 			c, ok := engine.AsCanceled(r)
@@ -403,6 +507,9 @@ func (e *Executor) fitModel(n *Node) TransformOp {
 	st.Computes++
 	e.models[n.ID] = model
 	e.mu.Unlock()
+	// The fit is done: nothing will refetch this estimator's inputs on
+	// its behalf again, so release whatever was retained for it.
+	e.releaseRetained(n.ID)
 	f.model = model
 	return model
 }
@@ -443,4 +550,3 @@ func concatFeatures(a, b any) any {
 	out = append(out, x...)
 	return append(out, y...)
 }
-

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/heap"
 	"fmt"
 
 	"keystoneml/internal/engine"
@@ -106,10 +107,53 @@ type passDone struct {
 	panicked any
 }
 
+// readyQueue orders a pass's ready members for dispatch: a planHeap
+// over the schedule plan's critical-path priorities (the same heap the
+// makespan simulator schedules with), or plain FIFO (pass-plan order)
+// when no plan drives dispatch (SchedulerFIFO).
+type readyQueue struct {
+	fifo  []*Node   // FIFO backing store, used when heap is nil
+	prioq *planHeap // priority backing store, nil in FIFO mode
+}
+
+func newReadyQueue(plan *SchedulePlan) *readyQueue {
+	q := &readyQueue{}
+	if plan != nil {
+		q.prioq = &planHeap{plan: plan}
+	}
+	return q
+}
+
+func (q *readyQueue) push(n *Node) {
+	if q.prioq == nil {
+		q.fifo = append(q.fifo, n)
+		return
+	}
+	heap.Push(q.prioq, n)
+}
+
+func (q *readyQueue) len() int {
+	if q.prioq == nil {
+		return len(q.fifo)
+	}
+	return q.prioq.Len()
+}
+
+func (q *readyQueue) pop() *Node {
+	if q.prioq == nil {
+		n := q.fifo[0]
+		q.fifo = q.fifo[1:]
+		return n
+	}
+	return heap.Pop(q.prioq).(*Node)
+}
+
 // runPass executes one dataflow pass for a demand of root and returns
-// root's output collection. The coordinator dispatches the ready set,
-// collects completions, and releases dependents as their inputs arrive;
-// node-local compute is bounded by the executor's worker pool.
+// root's output collection. The coordinator dispatches ready members in
+// schedule-plan priority order (critical path first, ties toward pinned
+// outputs and wide unlocks), at most `workers` in flight per pass, and
+// releases dependents as their inputs arrive; node-local compute is
+// additionally bounded by the executor's worker pool.
 func (e *Executor) runPass(root *Node) *engine.Collection {
 	if root.Kind == KindEstimator {
 		panic("core: estimator node demanded as data; estimators produce models, not collections")
@@ -117,6 +161,7 @@ func (e *Executor) runPass(root *Node) *engine.Collection {
 	plan := e.planPass(root)
 	results := make(map[int]*engine.Collection, len(plan.order))
 	done := make(chan passDone, len(plan.order))
+	ready := newReadyQueue(e.dispatchPlan())
 	inFlight := 0
 	var firstPanic any
 
@@ -165,11 +210,22 @@ func (e *Executor) runPass(root *Node) *engine.Collection {
 		}()
 	}
 
-	for _, n := range plan.order {
-		if plan.pending[n.ID] == 0 {
-			dispatch(n)
+	// fill drains the ready queue in priority order up to the worker
+	// bound; completions below refill it. Gating dispatch (instead of
+	// spawning every ready member and letting the slot pool arbitrate)
+	// is what makes the priority ordering effective: when more members
+	// are ready than workers, the longest critical path runs first.
+	fill := func() {
+		for inFlight < e.workers && ready.len() > 0 {
+			dispatch(ready.pop())
 		}
 	}
+	for _, n := range plan.order {
+		if plan.pending[n.ID] == 0 {
+			ready.push(n)
+		}
+	}
+	fill()
 	for inFlight > 0 {
 		d := <-done
 		inFlight--
@@ -186,9 +242,10 @@ func (e *Executor) runPass(root *Node) *engine.Collection {
 		for _, sid := range plan.succ[d.n.ID] {
 			plan.pending[sid]--
 			if plan.pending[sid] == 0 {
-				dispatch(plan.nodes[sid])
+				ready.push(plan.nodes[sid])
 			}
 		}
+		fill()
 	}
 	if firstPanic != nil {
 		panic(firstPanic)
@@ -252,7 +309,20 @@ func (e *Executor) produce(n *Node, ins []*engine.Collection) (out *engine.Colle
 	out = e.localCompute(n, ins)
 	bytes := e.noteCompute(n, out)
 	if e.cache != nil {
-		e.cache.Put(cacheKey(n.ID), out, bytes)
+		if !e.cache.Put(cacheKey(n.ID), out, bytes) && e.retainSpeculatively(n.ID) {
+			// Speculative cross-pass retention: the policy rejected the
+			// entry (not in the pinned set), but an estimator that will
+			// refetch it is still fitting — keep it in the cache's free
+			// headroom, strictly subordinate to the budget (never
+			// evicting anything to make room), until the last
+			// interested fit completes or budget pressure reclaims it.
+			// Re-check interest after inserting: the last fit can
+			// complete between the check and the insert, and its
+			// release must not be allowed to miss the entry.
+			if e.cache.PutSpeculative(cacheKey(n.ID), out, bytes) && !e.retainSpeculatively(n.ID) {
+				e.cache.ReleaseSpeculative(cacheKey(n.ID))
+			}
+		}
 	}
 	return out
 }

@@ -1,0 +1,486 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file defines the SchedulePlan: the one schedule model both the
+// materialization optimizer and the parallel executor reason with. Before
+// it existed the two layers disagreed about the same DAG — the optimizer
+// costed cache sets with the paper's sequential Σ t(v)·computes(v) model
+// while the executor ran a stage-aware parallel scheduler, so the planner
+// systematically mis-ranked cache candidates on branchy DAGs (recomputing
+// a subtree costs its critical path under k workers, not its node-time
+// sum). A SchedulePlan carries:
+//
+//   - the cost model: Makespan() simulates list-scheduled execution of
+//     the demand/pass structure under k workers, honoring cache
+//     boundaries and per-pass estimator refetches; workers=1 degenerates
+//     to the paper's sequential oracle exactly;
+//   - dispatch priorities: critical-path-first ordering for the
+//     executor's ready queue, breaking ties toward nodes whose outputs
+//     the materialization plan pins and toward nodes whose successors
+//     unlock the widest stages;
+//   - refetch sets: for every estimator, the nodes its iterative fit
+//     will demand again — what the executor's speculative cross-pass
+//     retention keeps alive (subordinate to the cache budget) while the
+//     fit is still running.
+
+// SchedulerPolicy selects how the parallel executor orders ready work.
+type SchedulerPolicy int
+
+const (
+	// SchedulerPriority (the default) dispatches ready pass members in
+	// schedule-plan priority order: longest downstream critical path
+	// first, ties broken toward pinned outputs and wide unlocks.
+	SchedulerPriority SchedulerPolicy = iota
+	// SchedulerFIFO dispatches ready members in pass-plan (dependency
+	// discovery) order and disables speculative retention — the
+	// scheduler's behaviour before the shared schedule plan existed,
+	// kept for comparisons.
+	SchedulerFIFO
+)
+
+// SchedulePlan is a schedule model for one pipeline graph: per-node
+// times, the materialization boundaries, and a worker count, plus the
+// derived priorities and refetch sets. Build it with NewSchedulePlan;
+// the optimizer does so via optimizer.ScheduleFor and hands it to the
+// executor through Plan.Execute, so both layers consume the same object.
+//
+// A plan is immutable after construction and safe for concurrent readers
+// (the executor's pass coordinators and the simulator never mutate it);
+// Makespan keeps its mutable simulation state on the stack.
+type SchedulePlan struct {
+	g *Graph
+	// Workers is the DAG-level parallelism the plan models; <= 1 means
+	// the sequential depth-first oracle.
+	Workers int
+	// Times holds t(v) in seconds per local computation of node v. A nil
+	// map selects structural mode: every node costs one unit, which is
+	// what the executor falls back to when no profile exists (priorities
+	// become longest-downstream-hop counts).
+	Times map[int]float64
+	// Cached marks the materialization boundaries (the pinned set): a
+	// cached node's output is computed once and served from memory
+	// afterwards.
+	Cached map[int]bool
+
+	structural bool
+	priority   map[int]float64
+	succWidth  map[int]int
+	// refetch (estimator ID -> nodes its fit passes recompute) is built
+	// lazily: only the executor's retention consumes it, and the greedy
+	// planner constructs thousands of throwaway plans per Fit whose
+	// Makespan never touches it.
+	refetchOnce sync.Once
+	refetch     map[int][]int
+}
+
+// NewSchedulePlan derives priorities and refetch sets for g under the
+// given per-node times (nil for structural unit costs), materialization
+// set (nil for none) and worker count. The maps are retained, not
+// copied; callers must not mutate them while the plan is in use.
+func NewSchedulePlan(g *Graph, times map[int]float64, cached map[int]bool, workers int) *SchedulePlan {
+	p := &SchedulePlan{
+		g:          g,
+		Workers:    workers,
+		Times:      times,
+		Cached:     cached,
+		structural: times == nil,
+		priority:   make(map[int]float64, len(g.Nodes)),
+		succWidth:  make(map[int]int, len(g.Nodes)),
+	}
+	if p.Workers < 1 {
+		p.Workers = 1
+	}
+	if p.Cached == nil {
+		p.Cached = map[int]bool{}
+	}
+
+	order := g.Topological()
+	succ := g.Successors()
+	// Successors may include nodes unreachable from the sink; count only
+	// the reachable ones so priorities and widths describe work that can
+	// actually run.
+	reachable := make(map[int]bool, len(order))
+	for _, n := range order {
+		reachable[n.ID] = true
+	}
+	// priority(v) = t(v) + max over reachable successors: the length of
+	// the longest downstream path — v's pull on the critical path.
+	// Computed sink-back (successors appear later in topological order).
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		var down float64
+		for _, sid := range succ[n.ID] {
+			if !reachable[sid] {
+				continue
+			}
+			p.succWidth[n.ID]++
+			if pr := p.priority[sid]; pr > down {
+				down = pr
+			}
+		}
+		p.priority[n.ID] = p.timeOf(n) + down
+	}
+	return p
+}
+
+// refetchSets builds (once, thread-safely) the estimator -> refetch-set
+// map.
+func (p *SchedulePlan) refetchSets() map[int][]int {
+	p.refetchOnce.Do(func() {
+		p.refetch = make(map[int][]int)
+		for _, n := range p.g.Topological() {
+			if n.Kind == KindEstimator {
+				p.refetch[n.ID] = p.refetchSet(n)
+			}
+		}
+	})
+	return p.refetch
+}
+
+// timeOf returns the modeled local compute time of n.
+func (p *SchedulePlan) timeOf(n *Node) float64 {
+	if p.structural {
+		if n.Kind == KindSource || n.Kind == KindLabels {
+			return 0
+		}
+		return 1
+	}
+	return p.Times[n.ID]
+}
+
+// Priority returns the dispatch priority of node id (longest downstream
+// critical path, including the node's own time).
+func (p *SchedulePlan) Priority(id int) float64 { return p.priority[id] }
+
+// Pinned reports whether the materialization plan pins node id.
+func (p *SchedulePlan) Pinned(id int) bool { return p.Cached[id] }
+
+// Less is the ready-queue ordering: a dispatches before b when a's
+// downstream critical path is longer; ties break toward pinned outputs
+// (materializing them earlier opens cache boundaries for concurrent
+// passes), then toward nodes with more successors (completing them
+// unlocks the widest next stage), then by ID for determinism.
+func (p *SchedulePlan) Less(a, b *Node) bool {
+	pa, pb := p.priority[a.ID], p.priority[b.ID]
+	if pa != pb {
+		return pa > pb
+	}
+	if ca, cb := p.Cached[a.ID], p.Cached[b.ID]; ca != cb {
+		return ca
+	}
+	if wa, wb := p.succWidth[a.ID], p.succWidth[b.ID]; wa != wb {
+		return wa > wb
+	}
+	return a.ID < b.ID
+}
+
+// RefetchSet returns the nodes estimator estID's fit passes will demand
+// again (and, where uncached, recompute): the subtree of its data
+// dependency pruned at materialization boundaries, label/source inputs
+// and nested estimators (models are memoized). Callers must not mutate
+// the returned slice.
+func (p *SchedulePlan) RefetchSet(estID int) []int { return p.refetchSets()[estID] }
+
+// RefetchCounts returns, for every node appearing in some refetch set,
+// how many estimators will refetch it — the executor's initial
+// speculative-retention interest counts.
+func (p *SchedulePlan) RefetchCounts() map[int]int {
+	out := make(map[int]int)
+	for _, set := range p.refetchSets() {
+		for _, id := range set {
+			out[id]++
+		}
+	}
+	return out
+}
+
+func (p *SchedulePlan) refetchSet(est *Node) []int {
+	var out []int
+	seen := map[int]bool{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if seen[n.ID] {
+			return
+		}
+		seen[n.ID] = true
+		if p.Cached[n.ID] {
+			return // pinned boundary: the cache itself retains it
+		}
+		switch n.Kind {
+		case KindSource, KindLabels:
+			return // bound inputs are always in memory
+		case KindEstimator:
+			return // nested fits are memoized, not re-run
+		}
+		out = append(out, n.ID)
+		for _, d := range n.Deps {
+			walk(d)
+		}
+	}
+	walk(est.Deps[0])
+	sort.Ints(out)
+	return out
+}
+
+// Makespan estimates the wall-clock seconds of executing the graph to
+// its sink under the plan's worker count and materialization set. For
+// Workers <= 1 it reproduces the paper's sequential oracle — the result
+// equals Σ t(v)·computes(v) of the T(v)/C(v) recurrence exactly. For
+// Workers > 1 it simulates the executor's pass structure: each demand is
+// a dataflow pass over the subgraph pruned at cache boundaries,
+// list-scheduled onto k workers in priority order, with estimator
+// members expanding into their iterative refetch passes. The first
+// computation of a node in the materialization set establishes a cache
+// boundary for every later pass, which is how per-pass recompute counts
+// enter the estimate.
+//
+// Modeling simplifications (it is a cost model, not a replay): a nested
+// fetch pass is charged to its estimator's duration at full worker
+// width, and within-pass coalescing follows the pass plan rather than
+// live single-flight timing.
+func (p *SchedulePlan) Makespan() float64 {
+	if p.Workers <= 1 {
+		return p.sequentialTime()
+	}
+	return p.parallelTime()
+}
+
+// sequentialTime mirrors the sequential oracle's demand recursion: each
+// access to an unmaterialized node recomputes it (and its inputs), the
+// first computation of a node in the cache set pins it, fits run once
+// and fetch their data dependency Weight() times.
+func (p *SchedulePlan) sequentialTime() float64 {
+	mat := make(map[int]bool)
+	fitted := make(map[int]bool)
+	var demand func(n *Node) float64
+	var fit func(n *Node) float64
+	demand = func(n *Node) float64 {
+		if mat[n.ID] {
+			return 0
+		}
+		var d float64
+		switch n.Kind {
+		case KindSource, KindLabels:
+			return p.timeOf(n) // bound inputs; never materialized
+		case KindTransform:
+			d = demand(n.Deps[0]) + p.timeOf(n)
+		case KindGather:
+			for _, dep := range n.Deps {
+				d += demand(dep)
+			}
+			d += p.timeOf(n)
+		case KindApplyModel:
+			d = fit(n.Deps[0]) + demand(n.Deps[1]) + p.timeOf(n)
+		default:
+			panic(fmt.Sprintf("core: schedule simulation demanded %v node #%d as data", n.Kind, n.ID))
+		}
+		if p.Cached[n.ID] {
+			mat[n.ID] = true
+		}
+		return d
+	}
+	fit = func(n *Node) float64 {
+		if fitted[n.ID] {
+			return 0
+		}
+		fitted[n.ID] = true
+		d := p.timeOf(n) + steadyFetches(n.Weight(), func() float64 { return demand(n.Deps[0]) })
+		if len(n.Deps) > 1 {
+			d += demand(n.Deps[1])
+		}
+		return d
+	}
+	return demand(p.g.Sink)
+}
+
+// steadyFetches charges w iterative fetches of an estimator's input by
+// simulating at most two: the first fetch is the only one that can
+// change simulation state (it materializes every pin it touches, and a
+// later fetch demands a subset of what an earlier one did, so nothing
+// new is ever pinned or fitted afterwards); fetches 2..w are identical
+// repetitions of the second. This keeps the planner's cost independent
+// of estimator iteration counts (solvers run tens to hundreds of
+// passes, and GreedyCacheSet simulates per candidate per pick).
+func steadyFetches(w int, fetch func() float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	d := fetch()
+	if w > 1 {
+		d += float64(w-1) * fetch()
+	}
+	return d
+}
+
+// parallelTime simulates the parallel executor: each demand of a node is
+// one pass (planned like Executor.planPass, pruned at current
+// materialization boundaries, estimator members not descended into),
+// event-driven list scheduling assigns ready members to k workers in
+// plan priority order, and estimator members expand into their refetch
+// passes when dispatched.
+func (p *SchedulePlan) parallelTime() float64 {
+	mat := make(map[int]bool)
+	fitted := make(map[int]bool)
+	var passTime func(root *Node) float64
+	var fitTime func(n *Node) float64
+
+	fitTime = func(n *Node) float64 {
+		if fitted[n.ID] {
+			return 0
+		}
+		fitted[n.ID] = true
+		d := p.timeOf(n) + steadyFetches(n.Weight(), func() float64 { return passTime(n.Deps[0]) })
+		if len(n.Deps) > 1 {
+			d += passTime(n.Deps[1])
+		}
+		return d
+	}
+
+	passTime = func(root *Node) float64 {
+		switch root.Kind {
+		case KindSource, KindLabels:
+			return p.timeOf(root)
+		}
+		if mat[root.ID] {
+			return 0
+		}
+		// Pass membership: the subtree of root pruned at current cache
+		// boundaries; estimator members fetch their own inputs through
+		// nested passes, so the walk does not descend into them.
+		members := make(map[int]*Node)
+		boundary := make(map[int]bool)
+		var order []*Node
+		var visit func(n *Node)
+		visit = func(n *Node) {
+			if _, ok := members[n.ID]; ok {
+				return
+			}
+			members[n.ID] = n
+			switch {
+			case n.Kind == KindEstimator:
+			case mat[n.ID]:
+				boundary[n.ID] = true
+			default:
+				for _, d := range n.Deps {
+					visit(d)
+				}
+			}
+			order = append(order, n)
+		}
+		visit(root)
+		pending := make(map[int]int, len(order))
+		succ := make(map[int][]int, len(order))
+		for _, n := range order {
+			if boundary[n.ID] {
+				continue
+			}
+			for _, d := range n.Deps {
+				if _, ok := members[d.ID]; !ok {
+					continue
+				}
+				pending[n.ID]++
+				succ[d.ID] = append(succ[d.ID], n.ID)
+			}
+		}
+
+		// dur resolves a member's duration at dispatch time, mutating
+		// the simulation state exactly when the real scheduler would:
+		// a computed pin becomes a boundary for every later pass, and a
+		// dispatched fit consumes its refetch passes.
+		dur := func(n *Node) float64 {
+			switch {
+			case n.Kind == KindEstimator:
+				return fitTime(n)
+			case boundary[n.ID]:
+				return 0
+			case n.Kind == KindSource || n.Kind == KindLabels:
+				return p.timeOf(n)
+			default:
+				if p.Cached[n.ID] {
+					mat[n.ID] = true
+				}
+				return p.timeOf(n)
+			}
+		}
+
+		ready := &planHeap{plan: p}
+		for _, n := range order {
+			if pending[n.ID] == 0 {
+				heap.Push(ready, n)
+			}
+		}
+		running := &simRunHeap{}
+		clock, free := 0.0, p.Workers
+		for ready.Len() > 0 || running.Len() > 0 {
+			for free > 0 && ready.Len() > 0 {
+				n := heap.Pop(ready).(*Node)
+				heap.Push(running, simRun{finish: clock + dur(n), id: n.ID})
+				free--
+			}
+			if running.Len() == 0 {
+				break
+			}
+			r := heap.Pop(running).(simRun)
+			clock = r.finish
+			free++
+			for _, sid := range succ[r.id] {
+				pending[sid]--
+				if pending[sid] == 0 {
+					heap.Push(ready, members[sid])
+				}
+			}
+		}
+		return clock
+	}
+	return passTime(p.g.Sink)
+}
+
+// planHeap is a priority heap of nodes ordered by SchedulePlan.Less. It
+// is shared by the executor's ready queue and the makespan simulator so
+// the simulated dispatch order is, by construction, the order the real
+// dispatcher would use.
+type planHeap struct {
+	plan  *SchedulePlan
+	nodes []*Node
+}
+
+func (h *planHeap) Len() int           { return len(h.nodes) }
+func (h *planHeap) Less(i, j int) bool { return h.plan.Less(h.nodes[i], h.nodes[j]) }
+func (h *planHeap) Swap(i, j int)      { h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i] }
+func (h *planHeap) Push(x any)         { h.nodes = append(h.nodes, x.(*Node)) }
+func (h *planHeap) Pop() any {
+	n := h.nodes[len(h.nodes)-1]
+	h.nodes = h.nodes[:len(h.nodes)-1]
+	return n
+}
+
+// simRun is one executing simulation member; the run heap pops the
+// earliest finisher (ties by ID for determinism).
+type simRun struct {
+	finish float64
+	id     int
+}
+
+type simRunHeap []simRun
+
+func (h simRunHeap) Len() int { return len(h) }
+func (h simRunHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].id < h[j].id
+}
+func (h simRunHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *simRunHeap) Push(x any)   { *h = append(*h, x.(simRun)) }
+func (h *simRunHeap) Pop() any {
+	old := *h
+	r := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return r
+}

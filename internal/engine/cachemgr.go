@@ -19,37 +19,139 @@ type CachePolicy interface {
 	Evicted(id string)
 }
 
+// PinAware is an optional CachePolicy refinement: a policy that pins
+// entries reports which ones, and the manager's budget-pressure eviction
+// never selects a pinned entry as a victim to admit a newer one — under
+// pressure the newer entry is rejected instead. Pinned must be stable
+// for a given id (the manager files entries by pinned-ness at admission
+// time). PinnedSetPolicy implements it; recency policies (LRU) do not,
+// keeping every entry evictable.
+type PinAware interface {
+	Pinned(id string) bool
+}
+
 // CacheManager stores materialized node outputs under a byte budget. It is
 // the "additional cache-management layer aware of the multiple jobs that
 // comprise a pipeline" described in Section 5 of the paper.
+//
+// Entries come in two classes. Regular entries pass the policy's Admit
+// check and may evict others to fit. Speculative entries (PutSpeculative)
+// are the executor's cross-pass retention: results the policy rejected
+// but that an in-flight estimator fit will demand again. They are
+// strictly subordinate to the budget — admitted only into free headroom,
+// never by evicting anything — and they are the first victims when a
+// regular entry needs room. Note that a non-positive budget means
+// *unlimited*: the caller has declared memory unconstrained, so nothing
+// bounds speculative headroom either — their lifetime is bounded
+// instead (the executor releases them as fits complete and drains the
+// remainder when the run ends, even on panic or cancellation).
+//
+// Recency is an intrusive doubly-linked list over the entries themselves
+// with the map as index, so Get-touch and Remove are O(1) — the previous
+// slice-based order was O(n) per touch, which showed up under serving
+// load.
 type CacheManager struct {
 	mu      sync.Mutex
 	budget  int64
 	used    int64
 	entries map[string]*cacheEntry
-	order   []string // insertion/recency order, oldest first
+	main    entryList // evictable regular entries, oldest first
+	pinnedL entryList // pinned regular entries (never victims)
+	spec    entryList // speculative entries, oldest first
 	policy  CachePolicy
 
 	hits, misses, evictions int64
 }
 
+// cacheEntry is one cached value, threaded onto its class's recency
+// list (speculative, pinned, or evictable-regular; keeping the classes
+// on separate lists makes victim selection O(1) — no skipping over
+// pinned prefixes).
 type cacheEntry struct {
-	value any
-	size  int64
+	key         string
+	value       any
+	size        int64
+	speculative bool
+	pinned      bool
+	prev, next  *cacheEntry
+}
+
+// entryList is an intrusive circular doubly-linked list with a sentinel
+// root: root.next is the oldest entry, root.prev the most recent.
+type entryList struct {
+	root cacheEntry
+}
+
+func (l *entryList) init() {
+	l.root.prev = &l.root
+	l.root.next = &l.root
+}
+
+func (l *entryList) oldest() *cacheEntry {
+	if l.root.next == &l.root {
+		return nil
+	}
+	return l.root.next
+}
+
+// next returns the entry after e in recency order (nil at the end).
+func (l *entryList) next(e *cacheEntry) *cacheEntry {
+	if e.next == &l.root {
+		return nil
+	}
+	return e.next
+}
+
+func (l *entryList) pushNewest(e *cacheEntry) {
+	e.prev = l.root.prev
+	e.next = &l.root
+	e.prev.next = e
+	e.next.prev = e
+}
+
+func unlink(e *cacheEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
 }
 
 // NewCacheManager creates a manager with the given byte budget. A
-// non-positive budget means unlimited. If policy is nil, PinnedSetPolicy
-// with an empty pin set is used (nothing admitted).
+// non-positive budget means unlimited. If policy is nil, LRU (admit
+// everything, evict by recency) is used.
 func NewCacheManager(budget int64, policy CachePolicy) *CacheManager {
 	if policy == nil {
 		policy = NewLRUPolicy()
 	}
-	return &CacheManager{
+	m := &CacheManager{
 		budget:  budget,
 		entries: make(map[string]*cacheEntry),
 		policy:  policy,
 	}
+	m.main.init()
+	m.pinnedL.init()
+	m.spec.init()
+	return m
+}
+
+// listOf returns the recency list entry e lives on.
+func (m *CacheManager) listOf(e *cacheEntry) *entryList {
+	switch {
+	case e.speculative:
+		return &m.spec
+	case e.pinned:
+		return &m.pinnedL
+	default:
+		return &m.main
+	}
+}
+
+// pinnedID reports whether the policy pins id (false for policies that
+// are not PinAware).
+func (m *CacheManager) pinnedID(id string) bool {
+	if pa, ok := m.policy.(PinAware); ok {
+		return pa.Pinned(id)
+	}
+	return false
 }
 
 // Contains reports whether id is currently cached. Unlike Get it does
@@ -73,19 +175,32 @@ func (m *CacheManager) Get(id string) (any, bool) {
 	}
 	m.hits++
 	m.policy.Touch(id)
-	m.touchOrder(id)
+	unlink(e)
+	m.listOf(e).pushNewest(e)
 	return e.value, true
 }
 
 // Put offers a value to the cache. The policy decides admission; if the
-// budget would be exceeded, least-recently-used entries are evicted until
-// the value fits (or the value itself is rejected when larger than the
-// whole budget).
+// budget would be exceeded, victims are evicted until the value fits —
+// speculative entries first, then regular entries oldest-first, but
+// never an entry the policy pins (PinAware): when only pinned entries
+// could make room, the newcomer is rejected instead. A value larger than
+// the whole budget is rejected outright.
 func (m *CacheManager) Put(id string, value any, size int64) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.entries[id]; ok {
-		return true // already cached
+	if e, ok := m.entries[id]; ok {
+		// Already cached. A speculative entry that the policy would now
+		// admit is promoted to a regular one (it must stop being an
+		// evict-first victim and must survive ReleaseSpeculative, or a
+		// pin guarantee would silently not hold).
+		if e.speculative && m.policy.Admit(id, e.size) {
+			e.speculative = false
+			e.pinned = m.pinnedID(id)
+			unlink(e)
+			m.listOf(e).pushNewest(e)
+		}
+		return true
 	}
 	if !m.policy.Admit(id, size) {
 		return false
@@ -94,35 +209,120 @@ func (m *CacheManager) Put(id string, value any, size int64) bool {
 		if size > m.budget {
 			return false // can never fit
 		}
-		for m.used+size > m.budget && len(m.order) > 0 {
-			m.evictOldestLocked()
-		}
-		if m.used+size > m.budget {
+		if !m.makeRoomLocked(size) {
 			return false
 		}
 	}
-	m.entries[id] = &cacheEntry{value: value, size: size}
-	m.order = append(m.order, id)
+	e := &cacheEntry{key: id, value: value, size: size, pinned: m.pinnedID(id)}
+	m.entries[id] = e
+	m.listOf(e).pushNewest(e)
 	m.used += size
 	return true
+}
+
+// makeRoomLocked evicts victims until size fits in the budget, or
+// reports failure if only pinned entries remain.
+func (m *CacheManager) makeRoomLocked(size int64) bool {
+	for m.used+size > m.budget {
+		v := m.victimLocked()
+		if v == nil {
+			return false
+		}
+		m.deleteLocked(v)
+		m.evictions++
+	}
+	return true
+}
+
+// victimLocked picks the next eviction victim in O(1): the oldest
+// speculative entry if any, else the oldest evictable regular entry
+// (pinned entries live on their own list and are never considered).
+// Returns nil when nothing is evictable.
+func (m *CacheManager) victimLocked() *cacheEntry {
+	if v := m.spec.oldest(); v != nil {
+		return v
+	}
+	return m.main.oldest()
+}
+
+// deleteLocked removes e from the map, its recency list, and the byte
+// accounting. The policy is only notified for entries it admitted.
+func (m *CacheManager) deleteLocked(e *cacheEntry) {
+	delete(m.entries, e.key)
+	unlink(e)
+	m.used -= e.size
+	if !e.speculative {
+		m.policy.Evicted(e.key)
+	}
+}
+
+// PutSpeculative offers a value for cross-pass retention, bypassing the
+// policy's admission check but strictly subordinate to the budget: the
+// entry is stored only if it fits in the currently free headroom —
+// nothing is ever evicted to make room for it — and it is the first
+// victim when a regular Put needs space. Returns whether the value is
+// now cached.
+func (m *CacheManager) PutSpeculative(id string, value any, size int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.entries[id]; ok {
+		return true
+	}
+	if m.budget > 0 && m.used+size > m.budget {
+		return false
+	}
+	e := &cacheEntry{key: id, value: value, size: size, speculative: true}
+	m.entries[id] = e
+	m.spec.pushNewest(e)
+	m.used += size
+	return true
+}
+
+// ReleaseSpeculative drops id if (and only if) it is a speculative
+// entry; regular entries are untouched. The executor calls this when the
+// last estimator interested in a retained result finishes fitting.
+func (m *CacheManager) ReleaseSpeculative(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[id]; ok && e.speculative {
+		m.deleteLocked(e)
+	}
+}
+
+// SpeculativeBytes returns the bytes currently held by speculative
+// (cross-pass retention) entries.
+func (m *CacheManager) SpeculativeBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for e := m.spec.oldest(); e != nil; e = m.spec.next(e) {
+		total += e.size
+	}
+	return total
 }
 
 // Remove drops id from the cache if present.
 func (m *CacheManager) Remove(id string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.removeLocked(id)
+	if e, ok := m.entries[id]; ok {
+		m.deleteLocked(e)
+	}
 }
 
 // Clear empties the cache, keeping statistics.
 func (m *CacheManager) Clear() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for id := range m.entries {
-		m.policy.Evicted(id)
+	for id, e := range m.entries {
+		if !e.speculative {
+			m.policy.Evicted(id)
+		}
 	}
 	m.entries = make(map[string]*cacheEntry)
-	m.order = nil
+	m.main.init()
+	m.pinnedL.init()
+	m.spec.init()
 	m.used = 0
 }
 
@@ -138,40 +338,6 @@ func (m *CacheManager) Stats() (hits, misses, evictions int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.hits, m.misses, m.evictions
-}
-
-func (m *CacheManager) evictOldestLocked() {
-	if len(m.order) == 0 {
-		return
-	}
-	oldest := m.order[0]
-	m.removeLocked(oldest)
-	m.evictions++
-}
-
-func (m *CacheManager) removeLocked(id string) {
-	e, ok := m.entries[id]
-	if !ok {
-		return
-	}
-	delete(m.entries, id)
-	m.used -= e.size
-	for i, o := range m.order {
-		if o == id {
-			m.order = append(m.order[:i], m.order[i+1:]...)
-			break
-		}
-	}
-	m.policy.Evicted(id)
-}
-
-func (m *CacheManager) touchOrder(id string) {
-	for i, o := range m.order {
-		if o == id {
-			m.order = append(append(m.order[:i], m.order[i+1:]...), id)
-			return
-		}
-	}
 }
 
 // PinnedSetPolicy admits exactly the node ids chosen in advance by the
@@ -204,6 +370,14 @@ func (p *PinnedSetPolicy) Touch(string) {}
 
 // Evicted implements CachePolicy.
 func (p *PinnedSetPolicy) Evicted(string) {}
+
+// Pinned implements PinAware: admitted entries are exactly the pinned
+// ones, and the manager must never evict them to admit a newer entry.
+func (p *PinnedSetPolicy) Pinned(id string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pinned[id]
+}
 
 // LRUPolicy admits everything; recency ordering and eviction are handled
 // by the manager. It reproduces Spark's default storage behaviour,

@@ -47,6 +47,11 @@ func Figure10(w io.Writer, scale Scale) {
 		Resources:   cluster.Local(8),
 		NumClasses:  train.Classes,
 		SampleSizes: [2]int{16, 32},
+		// Parallelism 1 pins the planner to the paper's sequential cost
+		// model: these figures replicate the paper's recompute-on-miss
+		// accounting and execute under the sequential oracle, so the
+		// cache sets must not depend on the host's core count.
+		Parallelism: 1,
 	}
 	planFull := optimizer.Optimize(gProf, train.Data, train.Labels, cfg)
 	var maxBytes int64
@@ -112,6 +117,11 @@ func Figure11(w io.Writer, scale Scale) {
 		Resources:   cluster.Local(8),
 		NumClasses:  train.Classes,
 		SampleSizes: [2]int{16, 32},
+		// Parallelism 1 pins the planner to the paper's sequential cost
+		// model: these figures replicate the paper's recompute-on-miss
+		// accounting and execute under the sequential oracle, so the
+		// cache sets must not depend on the host's core count.
+		Parallelism: 1,
 	}
 	plan := optimizer.Optimize(g, train.Data, train.Labels, cfg)
 	var total int64
@@ -120,7 +130,7 @@ func Figure11(w io.Writer, scale Scale) {
 	}
 	for _, frac := range []float64{1.0, 0.01} {
 		budget := int64(float64(total) * frac)
-		set := optimizer.GreedyCacheSet(g, plan.Profile, budget)
+		set := optimizer.GreedyCacheSet(g, plan.Profile, budget, 1)
 		fmt.Fprintf(w, "budget %4.0f%% (%6.1f MB): cached nodes:\n", frac*100, float64(budget)/1e6)
 		if len(set) == 0 {
 			fmt.Fprintln(w, "    (none)")

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"keystoneml/internal/optimizer"
+)
+
+// schedTestShapes mirrors SchedulePlanExp's Quick-scale shapes.
+func schedTestShapes() []schedShape {
+	return []schedShape{
+		{name: "chain2-vs-fan6", records: 2, chainLen: 2, fanWidth: 6,
+			chainNode: 25 * time.Millisecond, fanNode: 10 * time.Millisecond,
+			weight: 4, workers: 4},
+		{name: "chain3-vs-fan8", records: 2, chainLen: 3, fanWidth: 8,
+			chainNode: 15 * time.Millisecond, fanNode: 8 * time.Millisecond,
+			weight: 3, workers: 4},
+	}
+}
+
+// TestSchedulePinSetsDiverge pins the planning half of the sched
+// experiment deterministically: on both branchy shapes and an equal
+// budget, the sequential cost model and the makespan cost model choose
+// different pin sets, and under the parallel model the makespan-aware
+// choice is strictly better.
+func TestSchedulePinSetsDiverge(t *testing.T) {
+	const budget = 50
+	for _, s := range schedTestShapes() {
+		g, prof, _ := s.build()
+		seqSet := optimizer.GreedyCacheSet(g, prof, budget, 1)
+		mkSet := optimizer.GreedyCacheSet(g, prof, budget, s.workers)
+		if len(seqSet) == 0 || len(mkSet) == 0 {
+			t.Fatalf("%s: empty pin set (seq %v, makespan %v)", s.name, seqSet, mkSet)
+		}
+		same := len(seqSet) == len(mkSet)
+		if same {
+			for i := range seqSet {
+				if seqSet[i] != mkSet[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Errorf("%s: models agree on %v; the shape no longer separates them", s.name, seqSet)
+		}
+		cost := func(set []int) float64 {
+			cached := map[int]bool{}
+			for _, id := range set {
+				cached[id] = true
+			}
+			return optimizer.EstCost(g, prof, cached, s.workers)
+		}
+		if cs, cm := cost(seqSet), cost(mkSet); cm >= cs {
+			t.Errorf("%s: makespan pin set modeled at %.3fs, not better than sequential set's %.3fs",
+				s.name, cm, cs)
+		}
+	}
+}
+
+// TestScheduleMakespanPinSetFasterInWallClock executes both pin sets on
+// the real parallel scheduler. Branch latencies are sleeps, so the gap
+// (modeled ~1.9x) survives single-core CI; a generous 1.2x margin
+// absorbs scheduling noise.
+func TestScheduleMakespanPinSetFasterInWallClock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const budget = 50
+	for _, s := range schedTestShapes() {
+		g, prof, data := s.build()
+		seqSet := optimizer.GreedyCacheSet(g, prof, budget, 1)
+		mkSet := optimizer.GreedyCacheSet(g, prof, budget, s.workers)
+		tSeq := runPinSet(g, seqSet, data, s.workers)
+		g2, _, data2 := s.build()
+		tMk := runPinSet(g2, mkSet, data2, s.workers)
+		if float64(tSeq) < 1.2*float64(tMk) {
+			t.Errorf("%s: makespan pin set %v (%v) not clearly faster than sequential set %v (%v)",
+				s.name, mkSet, tMk, seqSet, tSeq)
+		}
+	}
+}

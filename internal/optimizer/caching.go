@@ -62,6 +62,9 @@ func executionCounts(g *core.Graph, cached map[int]bool) map[int]float64 {
 
 // EstRuntime estimates total pipeline execution time (seconds) under a
 // cache set, using the profile's per-node local times: Σ_v t(v)·computes(v).
+// This is the paper's sequential cost model — exact for the depth-first
+// oracle, an overestimate under the parallel scheduler, where branch
+// recomputes overlap. EstCost generalizes it to k workers.
 func EstRuntime(g *core.Graph, prof *Profile, cached map[int]bool) float64 {
 	computes := executionCounts(g, cached)
 	var total float64
@@ -71,6 +74,47 @@ func EstRuntime(g *core.Graph, prof *Profile, cached map[int]bool) float64 {
 		}
 	}
 	return total
+}
+
+// profTimes extracts the per-node local time map a schedule plan
+// consumes from a profile.
+func profTimes(prof *Profile) map[int]float64 {
+	out := make(map[int]float64, len(prof.Nodes))
+	for id, np := range prof.Nodes {
+		out[id] = np.TimeSec
+	}
+	return out
+}
+
+// EstCost estimates pipeline execution wall-clock (seconds) under a
+// cache set with k DAG workers: the sequential Σ t(v)·computes(v) model
+// for workers <= 1, the shared schedule plan's list-scheduling makespan
+// simulation otherwise. This is the objective the materialization
+// planner minimizes, so pins are ranked by their effect on parallel
+// wall-clock rather than on total work.
+func EstCost(g *core.Graph, prof *Profile, cached map[int]bool, workers int) float64 {
+	if workers <= 1 {
+		return EstRuntime(g, prof, cached)
+	}
+	return core.NewSchedulePlan(g, profTimes(prof), cached, workers).Makespan()
+}
+
+// ScheduleFor builds the shared schedule plan both layers consume: the
+// profile's node times, the chosen materialization set as cache
+// boundaries, and the execution worker count. The executor orders
+// dispatch by its priorities and drives speculative retention from its
+// refetch sets; the planner used the same model (via EstCost) to choose
+// the pins, so optimizer and executor finally reason about one schedule.
+func ScheduleFor(g *core.Graph, prof *Profile, cacheSet []int, workers int) *core.SchedulePlan {
+	cached := make(map[int]bool, len(cacheSet))
+	for _, id := range cacheSet {
+		cached[id] = true
+	}
+	var times map[int]float64
+	if prof != nil {
+		times = profTimes(prof)
+	}
+	return core.NewSchedulePlan(g, times, cached, workers)
 }
 
 // cacheable reports whether a node's output may be materialized: sources
@@ -85,19 +129,52 @@ func cacheable(n *core.Node) bool {
 	}
 }
 
-// GreedyCacheSet is Algorithm 1: starting from an empty cache set, it
-// repeatedly adds the node whose materialization most reduces estimated
-// runtime while fitting in the remaining memory, until no node improves
-// the estimate or memory is exhausted. memBudget <= 0 means unlimited.
-func GreedyCacheSet(g *core.Graph, prof *Profile, memBudget int64) []int {
+// setCost is the planner's lexicographic objective under k workers:
+// primarily the modeled wall-clock (makespan for k > 1), secondarily the
+// sequential total-work estimate. The secondary term matters only in the
+// parallel model, where pinning one node of an off-critical-path subtree
+// can leave the makespan unchanged (Δ = 0) even though a *set* of such
+// pins would shorten it: ranking zero-makespan-delta candidates by work
+// reduction lets greedy walk through those plateaus instead of stalling.
+type setCost struct {
+	wall float64 // EstCost: wall-clock under k workers
+	work float64 // EstRuntime: sequential total work
+}
+
+func costOf(g *core.Graph, prof *Profile, cached map[int]bool, workers int) setCost {
+	work := EstRuntime(g, prof, cached)
+	if workers <= 1 {
+		return setCost{wall: work, work: work}
+	}
+	return setCost{wall: EstCost(g, prof, cached, workers), work: work}
+}
+
+// improves reports whether c is a strict lexicographic improvement on
+// best (tolerances absorb float noise from the simulator's additions).
+func (c setCost) improves(best setCost) bool {
+	const eps = 1e-12
+	if c.wall < best.wall-eps {
+		return true
+	}
+	return c.wall < best.wall+eps && c.work < best.work-eps
+}
+
+// GreedyCacheSet is Algorithm 1 generalized to the executor's actual
+// schedule: starting from an empty cache set, it repeatedly adds the
+// node whose materialization most reduces the estimated wall-clock under
+// `workers` DAG workers (EstCost — the paper's sequential Σ t(v)·computes
+// for workers <= 1, the list-scheduling makespan otherwise) while
+// fitting in the remaining memory, until no node improves the estimate
+// or memory is exhausted. memBudget <= 0 means unlimited.
+func GreedyCacheSet(g *core.Graph, prof *Profile, memBudget int64, workers int) []int {
 	cached := make(map[int]bool)
 	memLeft := memBudget
-	current := EstRuntime(g, prof, cached)
+	current := costOf(g, prof, cached, workers)
 	var result []int
 	candidates := cacheCandidates(g, prof)
 	for {
 		best := -1
-		bestTime := current
+		bestCost := current
 		for _, id := range candidates {
 			if cached[id] {
 				continue
@@ -107,11 +184,11 @@ func GreedyCacheSet(g *core.Graph, prof *Profile, memBudget int64) []int {
 				continue
 			}
 			cached[id] = true
-			t := EstRuntime(g, prof, cached)
+			c := costOf(g, prof, cached, workers)
 			delete(cached, id)
-			if t < bestTime-1e-12 {
+			if c.improves(bestCost) {
 				best = id
-				bestTime = t
+				bestCost = c
 			}
 		}
 		if best < 0 {
@@ -119,23 +196,24 @@ func GreedyCacheSet(g *core.Graph, prof *Profile, memBudget int64) []int {
 		}
 		cached[best] = true
 		memLeft -= prof.Nodes[best].SizeBytes
-		current = bestTime
+		current = bestCost
 		result = append(result, best)
 	}
 	sort.Ints(result)
 	return result
 }
 
-// ExactCacheSet brute-forces the optimal cache set for small DAGs (used
-// in tests to validate the greedy heuristic; the paper rejects ILP
-// solving at optimization time as too slow, which exhaustive search
-// confirms — it is exponential in the candidate count).
-func ExactCacheSet(g *core.Graph, prof *Profile, memBudget int64) ([]int, float64) {
+// ExactCacheSet brute-forces the optimal cache set for small DAGs under
+// the same k-worker cost model as GreedyCacheSet (used in tests to
+// validate the greedy heuristic; the paper rejects ILP solving at
+// optimization time as too slow, which exhaustive search confirms — it
+// is exponential in the candidate count).
+func ExactCacheSet(g *core.Graph, prof *Profile, memBudget int64, workers int) ([]int, float64) {
 	candidates := cacheCandidates(g, prof)
 	if len(candidates) > 20 {
 		panic("optimizer: ExactCacheSet limited to 20 candidates")
 	}
-	bestTime := EstRuntime(g, prof, map[int]bool{})
+	bestTime := EstCost(g, prof, map[int]bool{}, workers)
 	var bestSet []int
 	for mask := 0; mask < 1<<len(candidates); mask++ {
 		var size int64
@@ -149,7 +227,7 @@ func ExactCacheSet(g *core.Graph, prof *Profile, memBudget int64) ([]int, float6
 		if memBudget > 0 && size > memBudget {
 			continue
 		}
-		t := EstRuntime(g, prof, cached)
+		t := EstCost(g, prof, cached, workers)
 		if t < bestTime {
 			bestTime = t
 			bestSet = bestSet[:0]

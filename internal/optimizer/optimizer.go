@@ -2,6 +2,7 @@ package optimizer
 
 import (
 	"context"
+	"runtime"
 	"time"
 
 	"keystoneml/internal/cluster"
@@ -72,7 +73,8 @@ func (c Config) samples() (int, int) {
 
 // Plan is an optimized physical execution plan: the (possibly rewritten)
 // graph, the chosen physical implementation per optimizable node, the
-// materialization set, and the profile that justified those choices.
+// materialization set, the shared schedule plan behind it, and the
+// profile that justified those choices.
 type Plan struct {
 	Graph     *core.Graph
 	Chosen    map[int]string // node ID -> selected physical operator name
@@ -80,6 +82,16 @@ type Plan struct {
 	Profile   *Profile
 	Level     Level
 	CSEMerged int
+	// Schedule is the shared schedule plan the materialization set was
+	// chosen under (profile times, cache boundaries, worker count).
+	// Execute threads it into the executor, whose priority dispatcher
+	// and speculative retention then work from the same model the
+	// planner costed; nil when profiling did not run (LevelNone).
+	Schedule *core.SchedulePlan
+	// DispatchFIFO disables priority dispatch and speculative retention
+	// at execution time (pass-plan-order dispatch, the scheduler's
+	// pre-plan behaviour), for comparisons and opt-outs.
+	DispatchFIFO bool
 	// OptimizeTime is the total optimization overhead (sampling +
 	// profiling + planning), Figure 9's "Optimize" stage.
 	OptimizeTime time.Duration
@@ -154,10 +166,25 @@ func optimize(g *core.Graph, data, labels *engine.Collection, cfg Config, ctx *e
 	}
 	plan.Profile = prof
 	plan.Chosen = run1.chosen
-	plan.CacheSet = GreedyCacheSet(g, prof, cfg.MemBudgetBytes)
+	// The materialization set is chosen under the schedule the executor
+	// will actually run: the k-worker makespan model (sequential Σ t·c
+	// when k = 1), and the resulting schedule plan is carried on the
+	// Plan so Execute hands the very same model to the dispatcher.
+	workers := cfg.execWorkers()
+	plan.CacheSet = GreedyCacheSet(g, prof, cfg.MemBudgetBytes, workers)
+	plan.Schedule = ScheduleFor(g, prof, plan.CacheSet, workers)
 	prof.Elapsed = time.Since(start)
 	plan.OptimizeTime = prof.Elapsed
 	return plan
+}
+
+// execWorkers resolves Parallelism the same way the engine context does:
+// non-positive means one DAG worker per CPU.
+func (c Config) execWorkers() int {
+	if c.Parallelism <= 0 {
+		return runtime.NumCPU()
+	}
+	return c.Parallelism
 }
 
 // sampleLabels samples labels with the same stride Sample uses on data so
@@ -178,7 +205,20 @@ func sampleLabels(labels, data *engine.Collection, n int) *engine.Collection {
 func (p *Plan) Execute(data, labels *engine.Collection, parallelism int) (map[int]core.TransformOp, *engine.Collection, *core.ExecReport) {
 	ctx := engine.NewContext(parallelism)
 	ex := core.NewExecutor(p.Graph, ctx, p.DefaultCache(0), data, labels)
+	p.configureScheduler(ex)
 	return ex.Run()
+}
+
+// configureScheduler threads the shared schedule plan (or the FIFO
+// opt-out) into an executor about to run this plan.
+func (p *Plan) configureScheduler(ex *core.Executor) {
+	if p.DispatchFIFO {
+		ex.SetSchedulerPolicy(core.SchedulerFIFO)
+		return
+	}
+	if p.Schedule != nil {
+		ex.SetSchedulePlan(p.Schedule)
+	}
 }
 
 // DefaultCache builds the plan's canonical cache manager: a pinned set
@@ -199,5 +239,6 @@ func (p *Plan) DefaultCache(budget int64) *engine.CacheManager {
 func (p *Plan) ExecuteContext(ctx context.Context, data, labels *engine.Collection, parallelism int, cache *engine.CacheManager) (map[int]core.TransformOp, *engine.Collection, *core.ExecReport, error) {
 	ectx := engine.NewContext(parallelism)
 	ex := core.NewExecutor(p.Graph, ectx, cache, data, labels)
+	p.configureScheduler(ex)
 	return ex.RunContext(ctx)
 }

@@ -105,7 +105,7 @@ func TestCachingNeverHurts(t *testing.T) {
 func TestGreedyBeatsNoCache(t *testing.T) {
 	g, _, _ := buildChain(10)
 	prof := profileFor(g, 0.1, 100)
-	set := GreedyCacheSet(g, prof, 1000)
+	set := GreedyCacheSet(g, prof, 1000, 1)
 	if len(set) == 0 {
 		t.Fatal("greedy cached nothing despite weight-10 estimator")
 	}
@@ -121,7 +121,7 @@ func TestGreedyBeatsNoCache(t *testing.T) {
 func TestGreedyRespectsBudget(t *testing.T) {
 	g, _, _ := buildChain(10)
 	prof := profileFor(g, 0.1, 100)
-	set := GreedyCacheSet(g, prof, 150) // only one 100-byte node fits
+	set := GreedyCacheSet(g, prof, 150, 1) // only one 100-byte node fits
 	var total int64
 	for _, id := range set {
 		total += prof.Nodes[id].SizeBytes
@@ -142,7 +142,7 @@ func TestGreedyPicksHighestValueNodeUnderPressure(t *testing.T) {
 	// Make t1 cheap to compute and t2 expensive.
 	prof.Nodes[t1].TimeSec = 0.001
 	prof.Nodes[t2].TimeSec = 1.0
-	set := GreedyCacheSet(g, prof, 100)
+	set := GreedyCacheSet(g, prof, 100, 1)
 	if len(set) != 1 || set[0] != t2 {
 		t.Errorf("greedy picked %v, want [%d] (the expensive node)", set, t2)
 	}
@@ -152,13 +152,13 @@ func TestGreedyMatchesExactOnChain(t *testing.T) {
 	for _, budget := range []int64{0, 100, 200, 1000} {
 		g, _, _ := buildChain(6)
 		prof := profileFor(g, 0.1, 100)
-		gSet := GreedyCacheSet(g, prof, budget)
+		gSet := GreedyCacheSet(g, prof, budget, 1)
 		gCached := map[int]bool{}
 		for _, id := range gSet {
 			gCached[id] = true
 		}
 		gTime := EstRuntime(g, prof, gCached)
-		_, eTime := ExactCacheSet(g, prof, budget)
+		_, eTime := ExactCacheSet(g, prof, budget, 1)
 		if gTime > eTime*1.0001 {
 			t.Errorf("budget %d: greedy %.4f worse than exact %.4f", budget, gTime, eTime)
 		}
@@ -174,13 +174,13 @@ func TestGreedyNearExactOnBranchingDAG(t *testing.T) {
 	g := core.Gather(b1, b2).Graph()
 	prof := profileFor(g, 0.1, 100)
 	for _, budget := range []int64{100, 250, 400, 0} {
-		gSet := GreedyCacheSet(g, prof, budget)
+		gSet := GreedyCacheSet(g, prof, budget, 1)
 		cached := map[int]bool{}
 		for _, id := range gSet {
 			cached[id] = true
 		}
 		gTime := EstRuntime(g, prof, cached)
-		_, eTime := ExactCacheSet(g, prof, budget)
+		_, eTime := ExactCacheSet(g, prof, budget, 1)
 		// Greedy is a heuristic; require it within 25% of optimal here
 		// (empirically it is exact on these DAGs).
 		if gTime > eTime*1.25 {
@@ -211,7 +211,7 @@ func TestGreedyMonotoneInBudget(t *testing.T) {
 			lo, hi = hi, lo
 		}
 		run := func(budget int64) float64 {
-			set := GreedyCacheSet(g, prof, budget)
+			set := GreedyCacheSet(g, prof, budget, 1)
 			cached := map[int]bool{}
 			for _, id := range set {
 				cached[id] = true

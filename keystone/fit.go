@@ -82,6 +82,7 @@ func (p *Pipeline[I, O]) Fit(ctx context.Context, records []I, labels [][]float6
 	if err != nil {
 		return nil, fmt.Errorf("keystone: optimize: %w", err)
 	}
+	plan.DispatchFIFO = cfg.scheduler == SchedulerFIFO
 	models, _, report, err := plan.ExecuteContext(ctx, data, lab, cfg.workers, cfg.cache(plan))
 	if err != nil {
 		return nil, fmt.Errorf("keystone: fit: %w", err)

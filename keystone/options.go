@@ -51,6 +51,25 @@ const (
 	CacheNone
 )
 
+// SchedulerPolicy selects how the parallel DAG scheduler orders ready
+// work during Fit.
+type SchedulerPolicy int
+
+const (
+	// SchedulerAuto (the default) dispatches ready nodes by the shared
+	// schedule plan's priorities — longest downstream critical path
+	// first, ties broken toward outputs the materialization plan pins
+	// and toward nodes that unlock the widest stages — and enables
+	// speculative cross-pass retention: an intermediate the pinned set
+	// rejected is kept in the cache budget's free headroom while an
+	// estimator that will refetch it is still fitting.
+	SchedulerAuto SchedulerPolicy = iota
+	// SchedulerFIFO dispatches ready nodes in pass-plan order with no
+	// speculative retention (the scheduler's behaviour before the
+	// shared schedule plan existed), kept for comparisons.
+	SchedulerFIFO
+)
+
 // fitConfig is the resolved option set for one Fit call.
 type fitConfig struct {
 	level       Level
@@ -61,6 +80,7 @@ type fitConfig struct {
 	numClasses  int
 	sampleSizes [2]int
 	nodes       int
+	scheduler   SchedulerPolicy
 }
 
 func defaultFitConfig() fitConfig {
@@ -128,6 +148,14 @@ func WithNumClasses(k int) Option {
 // for linear extrapolation (default 256 and 512).
 func WithSampleSizes(s1, s2 int) Option {
 	return func(c *fitConfig) { c.sampleSizes = [2]int{s1, s2} }
+}
+
+// WithSchedulerPolicy selects the parallel DAG scheduler's dispatch
+// strategy (default SchedulerAuto: schedule-plan priority dispatch plus
+// speculative cross-pass retention; SchedulerFIFO restores plain
+// ready-order dispatch with retention off).
+func WithSchedulerPolicy(p SchedulerPolicy) Option {
+	return func(c *fitConfig) { c.scheduler = p }
 }
 
 // WithClusterNodes sets the modeled cluster size fed into the operator
