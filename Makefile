@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet staticcheck bench-smoke bench bench-sched ci serve
+.PHONY: build test race vet staticcheck bench-smoke bench bench-sched bench-serve serve serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -46,8 +46,21 @@ bench-sched:
 	GOMAXPROCS=1 $(GO) run ./cmd/keybench -exp sched
 	GOMAXPROCS=4 $(GO) run ./cmd/keybench -exp sched
 
-# The HTTP inference server (trains the text pipeline at startup).
-serve:
-	$(GO) run ./cmd/keyserve
+# The serving autotuner experiment: static batcher limits versus the
+# SLO-driven tuner against a p95 target, on a live in-process server
+# under closed-loop load.
+bench-serve:
+	$(GO) run ./cmd/keybench -exp serve
 
-ci: vet build race bench-smoke
+# The HTTP inference server (trains text + vision pipelines at startup).
+serve:
+	$(GO) run ./cmd/keyserve -routes text,vision
+
+# End-to-end serving smoke: builds and boots a real keyserve process,
+# exercises /predict, /predict/batch, the vision route, a live hot-swap
+# under concurrent load, rollback, /versions and /stats, then drains
+# gracefully. Pure Go driver — no curl dependency.
+serve-smoke:
+	$(GO) run ./cmd/servesmoke
+
+ci: vet build race bench-smoke serve-smoke

@@ -1,22 +1,26 @@
-// keyserve is an HTTP JSON inference server over a fitted KeystoneML
-// pipeline, built entirely on the public keystone package: it trains the
-// paper's Figure 2 text-classification pipeline at startup (on the
-// synthetic review corpus), then serves single-document predictions with
-// micro-batching — concurrent requests transparently share batches
-// through the pipeline's lock-free serving hot path.
+// keyserve is an HTTP JSON inference server over the keystone/serve
+// registry: a thin CLI that trains one pipeline per enabled route at
+// startup and mounts serve.Server on a listener. Everything of substance
+// — multi-route dispatch, micro-batching, versioned zero-downtime
+// hot-swap, SLO-driven batch autotuning, stats — lives in the serve
+// package.
 //
-//	go run ./cmd/keyserve -addr :8080
+//	go run ./cmd/keyserve -addr :8080 -routes text,vision -target-p95 20ms
 //	curl -s localhost:8080/predict -d '{"text":"this product is excellent"}'
-//	curl -s localhost:8080/predict/batch -d '{"texts":["great item","broke in a day"]}'
+//	curl -s localhost:8080/routes/vision/predict -d @image.json
+//	curl -s -X POST localhost:8080/routes/text/deploy   # refit + hot-swap
+//	curl -s -X POST localhost:8080/routes/text/rollback
+//	curl -s localhost:8080/routes/text/versions
 //	curl -s localhost:8080/stats
 //
-// SIGINT/SIGTERM cancel startup training (via the context-aware Fit) and
-// gracefully drain the server.
+// Each route has a refitter wired, so POST /routes/{name}/deploy trains
+// a fresh pipeline version on new synthetic data and swaps it in with
+// zero downtime. SIGINT/SIGTERM cancel startup training (via the
+// context-aware Fit) and gracefully drain the server.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,56 +28,81 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"keystoneml/keystone"
+	"keystoneml/keystone/serve"
 )
 
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
-		trainDocs = flag.Int("train-docs", 2000, "synthetic training corpus size")
-		features  = flag.Int("features", 5000, "vocabulary size")
-		iters     = flag.Int("iters", 15, "solver iterations")
+		routes    = flag.String("routes", "text", "comma-separated routes to serve (text, vision)")
 		workers   = flag.Int("workers", 0, "fit parallelism (0 = NumCPU)")
-		maxBatch  = flag.Int("max-batch", 32, "micro-batch size cap")
-		maxDelay  = flag.Duration("max-delay", 2*time.Millisecond, "micro-batch window")
+		maxBatch  = flag.Int("max-batch", 32, "initial micro-batch size cap")
+		maxDelay  = flag.Duration("max-delay", 2*time.Millisecond, "initial micro-batch window")
+		targetP95 = flag.Duration("target-p95", 0, "p95 latency SLO; enables the batch autotuner (0 = static limits)")
 		timeout   = flag.Duration("timeout", 5*time.Second, "per-request budget")
+
+		trainDocs = flag.Int("train-docs", 2000, "text: synthetic training corpus size")
+		features  = flag.Int("features", 5000, "text: vocabulary size")
+		iters     = flag.Int("iters", 15, "text: solver iterations")
+		labels    = flag.String("labels", "negative,positive", "text: class labels for the argmax response")
+
+		trainImages  = flag.Int("train-images", 120, "vision: synthetic training image count")
+		imageSize    = flag.Int("image-size", 16, "vision: synthetic image edge length")
+		imageClasses = flag.Int("image-classes", 3, "vision: class count")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("training text pipeline on %d synthetic reviews (features=%d iters=%d)...",
-		*trainDocs, *features, *iters)
-	train := keystone.SyntheticReviews(*trainDocs, 1)
-	pipe := keystone.TextPipeline(keystone.TextConfig{NumFeatures: *features, Iterations: *iters})
-	fitted, err := pipe.Fit(ctx, train.Records, train.Labels, keystone.WithWorkers(*workers))
-	if err != nil {
-		if errors.Is(err, context.Canceled) {
-			log.Print("training canceled, exiting")
-			os.Exit(0)
-		}
-		log.Fatalf("fit: %v", err)
+	srv := serve.NewServer()
+	defer srv.Close()
+
+	opts := []serve.RouteOption{
+		serve.WithBatchLimits(*maxBatch, *maxDelay),
+		serve.WithTimeout(*timeout),
 	}
-	info := fitted.Info()
-	log.Printf("trained in %v (optimize %v, CSE merged %d, %d cached intermediates)",
-		info.TrainTime.Round(time.Millisecond), info.OptimizeTime.Round(time.Millisecond),
-		info.CSEMerged, len(info.Cached))
+	if *targetP95 > 0 {
+		opts = append(opts, serve.WithSLO(serve.SLO{TargetP95: *targetP95}))
+	}
 
-	batcher := keystone.NewBatcher(fitted, *maxBatch, *maxDelay)
-	defer batcher.Close()
-	srv := &server{fitted: fitted, batcher: batcher, timeout: *timeout, started: time.Now()}
+	for _, name := range strings.Split(*routes, ",") {
+		var err error
+		switch strings.TrimSpace(name) {
+		case "text":
+			err = registerText(ctx, srv, textParams{
+				docs: *trainDocs, features: *features, iters: *iters,
+				labels: strings.Split(*labels, ","), workers: *workers,
+			}, opts)
+		case "vision":
+			err = registerVision(ctx, srv, visionParams{
+				images: *trainImages, size: *imageSize, classes: *imageClasses,
+				workers: *workers,
+			}, opts)
+		case "":
+			continue
+		default:
+			log.Fatalf("unknown route %q (want text, vision)", name)
+		}
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				log.Print("training canceled, exiting")
+				os.Exit(0)
+			}
+			log.Fatalf("register %s: %v", name, err)
+		}
+	}
+	if len(srv.RouteNames()) == 0 {
+		log.Fatal("no routes enabled")
+	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/predict", srv.predict)
-	mux.HandleFunc("/predict/batch", srv.predictBatch)
-	mux.HandleFunc("/healthz", srv.healthz)
-	mux.HandleFunc("/stats", srv.stats)
-
-	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	go func() {
 		<-ctx.Done()
 		log.Print("shutting down...")
@@ -84,122 +113,96 @@ func main() {
 		}
 	}()
 
-	log.Printf("serving on %s (max-batch=%d, window=%v)", *addr, *maxBatch, *maxDelay)
+	tuning := "static limits"
+	if *targetP95 > 0 {
+		tuning = fmt.Sprintf("autotuning to p95 %v", *targetP95)
+	}
+	log.Printf("serving routes %v on %s (max-batch=%d, window=%v, %s)",
+		srv.RouteNames(), *addr, *maxBatch, *maxDelay, tuning)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("serve: %v", err)
 	}
 }
 
-type server struct {
-	fitted  *keystone.Fitted[string, []float64]
-	batcher *keystone.Batcher[string, []float64]
-	timeout time.Duration
-	started time.Time
+type textParams struct {
+	docs, features, iters, workers int
+	labels                         []string
 }
 
-type prediction struct {
-	Label  string    `json:"label"`
-	Scores []float64 `json:"scores"`
-}
-
-func toPrediction(scores []float64) prediction {
-	label := "negative"
-	if len(scores) > 1 && scores[1] > scores[0] {
-		label = "positive"
+// registerText trains the paper's Figure 2 text-classification pipeline
+// on the synthetic review corpus and registers it; the refitter retrains
+// on a fresh corpus per deploy, so POST /routes/text/deploy exercises a
+// real hot-swap.
+func registerText(ctx context.Context, srv *serve.Server, p textParams, opts []serve.RouteOption) error {
+	var seed atomic.Uint64
+	seed.Store(1)
+	train := func(ctx context.Context) (*keystone.Fitted[string, []float64], error) {
+		s := seed.Add(1) - 1
+		log.Printf("[text] training on %d synthetic reviews (features=%d iters=%d seed=%d)...",
+			p.docs, p.features, p.iters, s)
+		data := keystone.SyntheticReviews(p.docs, s)
+		pipe := keystone.TextPipeline(keystone.TextConfig{NumFeatures: p.features, Iterations: p.iters})
+		start := time.Now()
+		fitted, err := pipe.Fit(ctx, data.Records, data.Labels, keystone.WithWorkers(p.workers))
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("[text] trained in %v", time.Since(start).Round(time.Millisecond))
+		return fitted, nil
 	}
-	return prediction{Label: label, Scores: scores}
-}
-
-// predict scores one document, transparently sharing a micro-batch with
-// concurrent requests.
-func (s *server) predict(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	var req struct {
-		Text string `json:"text"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
-		return
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
-	defer cancel()
-	scores, err := s.batcher.Predict(ctx, req.Text)
+	fitted, err := train(ctx)
 	if err != nil {
-		httpError(w, statusOf(err), err.Error())
-		return
+		return err
 	}
-	writeJSON(w, toPrediction(scores))
-}
-
-// predictBatch scores a caller-assembled batch in one shot on the
-// pipeline's batch path (no micro-batching needed — the caller already
-// batched).
-func (s *server) predictBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	var req struct {
-		Texts []string `json:"texts"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
-		return
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
-	defer cancel()
-	scores, err := s.fitted.TransformBatch(ctx, req.Texts)
+	route, err := serve.Register(srv, "text", fitted, serve.TextCodec{Labels: p.labels}, opts...)
 	if err != nil {
-		httpError(w, statusOf(err), err.Error())
-		return
+		return err
 	}
-	out := struct {
-		Results []prediction `json:"results"`
-	}{Results: make([]prediction, len(scores))}
-	for i, sc := range scores {
-		out.Results[i] = toPrediction(sc)
+	route.SetRefit(train)
+	return nil
+}
+
+type visionParams struct {
+	images, size, classes, workers int
+}
+
+// registerVision assembles a custom vision DAG from the exported
+// primitives — Grayscale, Pooling, ImageToVector, ZCAWhitening — proving
+// the registry hosts a second modality next to text on the same server.
+func registerVision(ctx context.Context, srv *serve.Server, p visionParams, opts []serve.RouteOption) error {
+	var seed atomic.Uint64
+	seed.Store(1)
+	train := func(ctx context.Context) (*keystone.Fitted[*keystone.Image, []float64], error) {
+		s := seed.Add(1) - 1
+		log.Printf("[vision] training on %d synthetic %dx%d images (%d classes, seed=%d)...",
+			p.images, p.size, p.size, p.classes, s)
+		data := keystone.SyntheticImages(p.images, p.size, 3, p.classes, s)
+		in := keystone.Input[*keystone.Image]()
+		gray := keystone.Then(in, keystone.Grayscale())
+		pooled := keystone.Then(gray, keystone.Pooling(2))
+		vec := keystone.Then(pooled, keystone.ImageToVector())
+		white := keystone.ThenEstimator(vec, keystone.ZCAWhitening(0.1))
+		pipe := keystone.ThenEstimator(white, keystone.LinearSolver(10))
+		start := time.Now()
+		fitted, err := pipe.Fit(ctx, data.Records, data.Labels, keystone.WithWorkers(p.workers))
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("[vision] trained in %v", time.Since(start).Round(time.Millisecond))
+		return fitted, nil
 	}
-	writeJSON(w, out)
-}
-
-func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]any{"status": "ok", "uptime": time.Since(s.started).String()})
-}
-
-func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
-	st := s.batcher.Stats()
-	writeJSON(w, map[string]any{
-		"batches":       st.Batches,
-		"records":       st.Records,
-		"largest_batch": st.LargestBatch,
-		"in_flight":     st.InFlight,
-		"uptime":        time.Since(s.started).String(),
-	})
-}
-
-func statusOf(err error) int {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		return 499 // client closed request
-	default:
-		return http.StatusInternalServerError
+	fitted, err := train(ctx)
+	if err != nil {
+		return err
 	}
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encode response: %v", err)
+	classLabels := make([]string, p.classes)
+	for i := range classLabels {
+		classLabels[i] = fmt.Sprintf("texture%d", i)
 	}
-}
-
-func httpError(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+	route, err := serve.Register(srv, "vision", fitted, serve.ImageCodec{Labels: classLabels}, opts...)
+	if err != nil {
+		return err
+	}
+	route.SetRefit(train)
+	return nil
 }

@@ -1,0 +1,291 @@
+// servesmoke is the end-to-end serving smoke test behind `make
+// serve-smoke`: it builds and boots a real keyserve process (text +
+// vision routes, autotuner on), exercises /predict, /predict/batch, the
+// vision route, a live hot-swap under concurrent load, rollback,
+// /versions and /stats, then shuts the server down gracefully and
+// verifies a clean exit. Pure Go — no curl dependency — so it runs
+// identically in CI and locally.
+//
+//	go run ./cmd/servesmoke
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("servesmoke: ")
+	if err := run(); err != nil {
+		log.Fatalf("FAIL: %v", err)
+	}
+	log.Print("PASS")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "servesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "keyserve")
+	log.Print("building keyserve...")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/keyserve")
+	build.Stdout, build.Stderr = os.Stderr, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build keyserve: %w", err)
+	}
+
+	port, err := freePort()
+	if err != nil {
+		return err
+	}
+	base := fmt.Sprintf("http://127.0.0.1:%d", port)
+
+	// Small training sizes keep the boot under a few seconds; the
+	// autotuner flag proves the SLO path boots.
+	cmd := exec.Command(bin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-routes", "text,vision",
+		"-train-docs", "400", "-features", "1500", "-iters", "6",
+		"-train-images", "60", "-image-size", "16", "-image-classes", "3",
+		"-target-p95", "25ms",
+	)
+	cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start keyserve: %w", err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	// Kill is a no-op (ErrProcessDone) once the process has exited, and
+	// unlike inspecting ProcessState it does not race with Wait.
+	defer cmd.Process.Kill()
+
+	if err := waitHealthy(base, exited, 120*time.Second); err != nil {
+		return err
+	}
+	log.Print("server healthy; exercising endpoints")
+
+	// Single prediction on the default (text) route, both paths.
+	var pred struct {
+		Label  string    `json:"label"`
+		Class  int       `json:"class"`
+		Scores []float64 `json:"scores"`
+	}
+	if err := postJSON(base+"/predict", `{"text":"this product is excellent"}`, &pred); err != nil {
+		return fmt.Errorf("/predict: %w", err)
+	}
+	if pred.Label != "negative" && pred.Label != "positive" {
+		return fmt.Errorf("/predict returned label %q, want negative|positive", pred.Label)
+	}
+	if err := postJSON(base+"/routes/text/predict", `{"text":"broke on arrival"}`, &pred); err != nil {
+		return fmt.Errorf("/routes/text/predict: %w", err)
+	}
+
+	// Caller-assembled batch.
+	var batch struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := postJSON(base+"/predict/batch", `{"texts":["great item","broke in a day","fine I guess"]}`, &batch); err != nil {
+		return fmt.Errorf("/predict/batch: %w", err)
+	}
+	if len(batch.Results) != 3 {
+		return fmt.Errorf("/predict/batch returned %d results, want 3", len(batch.Results))
+	}
+
+	// Vision route: a 16x16x3 image, 3-class argmax labels.
+	pixels := make([]float64, 16*16*3)
+	for i := range pixels {
+		pixels[i] = float64(i%16) / 16
+	}
+	imgBody, _ := json.Marshal(map[string]any{"width": 16, "height": 16, "channels": 3, "pixels": pixels})
+	if err := postJSON(base+"/routes/vision/predict", string(imgBody), &pred); err != nil {
+		return fmt.Errorf("/routes/vision/predict: %w", err)
+	}
+	if !strings.HasPrefix(pred.Label, "texture") || len(pred.Scores) != 3 {
+		return fmt.Errorf("vision predict = %+v, want texture label over 3 scores", pred)
+	}
+
+	// Route listing.
+	var routes struct {
+		Routes  []string `json:"routes"`
+		Default string   `json:"default"`
+	}
+	if err := getJSON(base+"/routes", &routes); err != nil {
+		return fmt.Errorf("/routes: %w", err)
+	}
+	if len(routes.Routes) != 2 || routes.Default != "text" {
+		return fmt.Errorf("/routes = %+v, want [text vision] with default text", routes)
+	}
+
+	// Live hot-swap: hammer the text route from 4 clients while POST
+	// /routes/text/deploy retrains and swaps. Zero failures allowed.
+	log.Print("hot-swap under concurrent load...")
+	var stop atomic.Bool
+	var requests, failures atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				var p struct {
+					Label string `json:"label"`
+				}
+				if err := postJSON(base+"/predict", `{"text":"steady load"}`, &p); err != nil {
+					failures.Add(1)
+					log.Printf("hammer request failed: %v", err)
+					return
+				}
+				requests.Add(1)
+			}
+		}()
+	}
+	var deployed struct {
+		Version int `json:"version"`
+	}
+	if err := postJSON(base+"/routes/text/deploy", ``, &deployed); err != nil {
+		stop.Store(true)
+		wg.Wait()
+		return fmt.Errorf("/routes/text/deploy: %w", err)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if failures.Load() != 0 {
+		return fmt.Errorf("%d requests failed during the hot-swap (%d succeeded)", failures.Load(), requests.Load())
+	}
+	if deployed.Version != 2 {
+		return fmt.Errorf("deploy produced version %d, want 2", deployed.Version)
+	}
+	log.Printf("hot-swap to v2 with %d concurrent requests, zero failures", requests.Load())
+
+	// Version history shows v2 live, then rollback restores v1's
+	// artifact as v3.
+	var vers struct {
+		Versions []struct {
+			ID   int  `json:"id"`
+			Live bool `json:"live"`
+		} `json:"versions"`
+	}
+	if err := getJSON(base+"/routes/text/versions", &vers); err != nil {
+		return fmt.Errorf("/routes/text/versions: %w", err)
+	}
+	if len(vers.Versions) != 2 || !vers.Versions[1].Live {
+		return fmt.Errorf("version history = %+v, want 2 entries with v2 live", vers.Versions)
+	}
+	if err := postJSON(base+"/routes/text/rollback", ``, &deployed); err != nil {
+		return fmt.Errorf("/routes/text/rollback: %w", err)
+	}
+	if deployed.Version != 3 {
+		return fmt.Errorf("rollback produced version %d, want 3", deployed.Version)
+	}
+
+	// Stats across both routes.
+	var stats struct {
+		Routes map[string]struct {
+			Records     int64 `json:"records"`
+			LiveVersion int   `json:"live_version"`
+			Autotune    bool  `json:"autotune"`
+		} `json:"routes"`
+	}
+	if err := getJSON(base+"/stats", &stats); err != nil {
+		return fmt.Errorf("/stats: %w", err)
+	}
+	text, ok := stats.Routes["text"]
+	if !ok || text.LiveVersion != 3 || !text.Autotune {
+		return fmt.Errorf("/stats text = %+v, want live_version 3 with autotune on", text)
+	}
+	if _, ok := stats.Routes["vision"]; !ok {
+		return fmt.Errorf("/stats missing vision route")
+	}
+
+	// Graceful drain: SIGTERM, clean exit.
+	log.Print("draining...")
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signal: %w", err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			return fmt.Errorf("keyserve exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-time.After(20 * time.Second):
+		return fmt.Errorf("keyserve did not exit within 20s of SIGTERM")
+	}
+	return nil
+}
+
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}
+
+// waitHealthy polls /healthz until the server answers, the process
+// exits, or the deadline passes.
+func waitHealthy(base string, exited <-chan error, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-exited:
+			return fmt.Errorf("keyserve exited during startup: %v", err)
+		default:
+		}
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	return fmt.Errorf("server not healthy after %v", timeout)
+}
+
+func postJSON(url, body string, out any) error {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	return json.Unmarshal(raw, out)
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"keystoneml/keystone"
+	"keystoneml/keystone/serve"
+)
+
+// ServeAutotune demonstrates the serving-layer acceptance claim: against
+// a p95 SLO, the autotuner converges a route's (maxBatch, maxDelay) from
+// a throughput-friendly but latency-hostile static default down to
+// limits that meet the objective, while the static configuration stays
+// pinned above it. Both configurations serve the same fitted text
+// pipeline under the same closed-loop concurrent load; we report each
+// phase's final limits and client-measured latency quantiles.
+func ServeAutotune(w io.Writer, scale Scale) {
+	header(w, "Serving autotuner: SLO-driven (maxBatch, maxDelay) vs static defaults")
+
+	docs, features, iters := 300, 800, 5
+	loadFor := 1200 * time.Millisecond
+	if scale == Full {
+		docs, features, iters = 1000, 3000, 10
+		loadFor = 4 * time.Second
+	}
+	const (
+		clients   = 6
+		targetP95 = 20 * time.Millisecond
+		// The hostile static default: a 60ms assembly window maximizes
+		// batching but parks p95 at 3x the SLO.
+		staticBatch = 32
+		staticDelay = 60 * time.Millisecond
+	)
+
+	train := keystone.SyntheticReviews(docs, 1)
+	pipe := keystone.TextPipeline(keystone.TextConfig{NumFeatures: features, Iterations: iters})
+	fitted, err := pipe.Fit(context.Background(), train.Records, train.Labels,
+		keystone.WithOptimizerLevel(keystone.LevelPipeline), keystone.WithSampleSizes(16, 32))
+	if err != nil {
+		fmt.Fprintf(w, "fit: %v\n", err)
+		return
+	}
+	docsPool := train.Records
+
+	fmt.Fprintf(w, "pipeline: text (%d docs, %d features); load: %d closed-loop clients for %v; SLO: p95 <= %v\n\n",
+		docs, features, clients, loadFor, targetP95)
+	fmt.Fprintf(w, "%-10s %18s %12s %10s %10s %8s\n", "config", "final (batch,delay)", "batches", "p50", "p95", "SLO met")
+
+	for _, tuned := range []bool{false, true} {
+		s := serve.NewServer()
+		opts := []serve.RouteOption{serve.WithBatchLimits(staticBatch, staticDelay)}
+		if tuned {
+			opts = append(opts, serve.WithSLO(serve.SLO{
+				TargetP95:  targetP95,
+				Interval:   40 * time.Millisecond,
+				MinSamples: 8,
+			}))
+		}
+		rt, err := serve.Register(s, "text", fitted, serve.TextCodec{}, opts...)
+		if err != nil {
+			fmt.Fprintf(w, "register: %v\n", err)
+			return
+		}
+
+		var mu sync.Mutex
+		var lats []time.Duration
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				var local []time.Duration
+				for i := 0; !stop.Load(); i++ {
+					doc := docsPool[(c*131+i)%len(docsPool)]
+					t0 := time.Now()
+					if _, err := rt.Predict(context.Background(), doc); err != nil {
+						return
+					}
+					local = append(local, time.Since(t0))
+				}
+				mu.Lock()
+				lats = append(lats, local...)
+				mu.Unlock()
+			}(c)
+		}
+		time.Sleep(loadFor)
+		stop.Store(true)
+		wg.Wait()
+
+		// Judge the steady state on the last third of observations so
+		// the tuned phase's convergence window does not mask where it
+		// converged to.
+		tail := lats[len(lats)-len(lats)/3:]
+		p50, p95 := quantiles(tail)
+		b, d := batcherLimits(s, "text")
+		name := "static"
+		if tuned {
+			name = "autotuned"
+		}
+		met := "no"
+		if p95 <= targetP95 {
+			met = "yes"
+		}
+		var st struct{ batches int64 }
+		if stats := s.RouteStats("text"); stats != nil {
+			if v, ok := stats["batches"].(int64); ok {
+				st.batches = v
+			}
+		}
+		fmt.Fprintf(w, "%-10s %10d, %-8s %12d %10s %10s %8s\n",
+			name, b, d.Round(10*time.Microsecond), st.batches,
+			p50.Round(10*time.Microsecond), p95.Round(10*time.Microsecond), met)
+		s.Close()
+	}
+	fmt.Fprintln(w, "\nThe static 60ms window pins p95 near 60ms; the autotuner's multiplicative")
+	fmt.Fprintln(w, "backoff pulls the window down until the observed p95 sits under the SLO,")
+	fmt.Fprintln(w, "then spends any remaining headroom growing the batch again.")
+}
+
+// quantiles returns (p50, p95) over the sample.
+func quantiles(lats []time.Duration) (time.Duration, time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	s := make([]time.Duration, len(lats))
+	copy(s, lats)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2], s[(len(s)*95)/100]
+}
+
+// batcherLimits reads the live batcher limits off a route's stats map.
+func batcherLimits(s *serve.Server, route string) (int, time.Duration) {
+	st := s.RouteStats(route)
+	if st == nil {
+		return 0, 0
+	}
+	b, _ := st["max_batch"].(int)
+	ms, _ := st["max_delay_ms"].(float64)
+	return b, time.Duration(ms * float64(time.Millisecond))
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"keystoneml/keystone"
+)
+
+// snap builds a window snapshot for the model-based tuner tests.
+func snap(p95 time.Duration, occ float64, samples int) keystone.LatencySnapshot {
+	return keystone.LatencySnapshot{Samples: samples, Batches: samples, P50: p95 / 2, P95: p95, MeanOccupancy: occ}
+}
+
+// TestTunerConvergesDelayBound models the delay-bound regime: observed
+// p95 tracks the assembly window (plus 2ms of execution). From a 50ms
+// window against a 10ms target the tuner must converge below target and
+// stay there, without undershooting the floor.
+func TestTunerConvergesDelayBound(t *testing.T) {
+	tuner := NewTuner(SLO{TargetP95: 10 * time.Millisecond})
+	batch, delay := 32, 50*time.Millisecond
+	const exec = 2 * time.Millisecond
+	converged := -1
+	for i := 0; i < 40; i++ {
+		batch, delay = tuner.Step(snap(delay+exec, 0.3, 64), batch, delay)
+		if delay+exec <= 10*time.Millisecond && converged < 0 {
+			converged = i
+		}
+	}
+	if converged < 0 {
+		t.Fatalf("never converged under the 10ms target; final delay %v", delay)
+	}
+	if converged > 15 {
+		t.Errorf("took %d steps to converge, want multiplicative-decrease speed", converged)
+	}
+	if delay < tuner.Config().MinDelay {
+		t.Errorf("delay %v fell below the floor %v", delay, tuner.Config().MinDelay)
+	}
+	// Steady state: the modeled p95 must stay under target forever after.
+	for i := 0; i < 20; i++ {
+		batch, delay = tuner.Step(snap(delay+exec, 0.3, 64), batch, delay)
+		if delay+exec > 10*time.Millisecond {
+			t.Fatalf("oscillated back over target at step %d (delay %v)", i, delay)
+		}
+	}
+}
+
+// TestTunerGrowsBatchWhenThroughputBound: over the SLO with batches
+// filling to the brim, the tuner must grow maxBatch (amortization) while
+// cutting the window, and respect the ceiling.
+func TestTunerGrowsBatchWhenThroughputBound(t *testing.T) {
+	tuner := NewTuner(SLO{TargetP95: 10 * time.Millisecond, MaxBatch: 128})
+	batch, delay := 16, 5*time.Millisecond
+	for i := 0; i < 10; i++ {
+		batch, delay = tuner.Step(snap(40*time.Millisecond, 1.0, 64), batch, delay)
+	}
+	if batch != 128 {
+		t.Errorf("throughput-bound batch = %d, want growth to the 128 cap", batch)
+	}
+	if delay != tuner.Config().MinDelay {
+		t.Errorf("throughput-bound delay = %v, want decay to the floor %v", delay, tuner.Config().MinDelay)
+	}
+}
+
+// TestTunerSpendsHeadroom: comfortably under target, the window grows
+// (bounded) so batching amortizes harder; near-empty batches shrink the
+// batch limit toward MinBatch.
+func TestTunerSpendsHeadroom(t *testing.T) {
+	tuner := NewTuner(SLO{TargetP95: 50 * time.Millisecond, MaxDelay: 20 * time.Millisecond})
+	batch, delay := 32, time.Millisecond
+	for i := 0; i < 60; i++ {
+		batch, delay = tuner.Step(snap(2*time.Millisecond, 0.1, 64), batch, delay)
+	}
+	if delay != 20*time.Millisecond {
+		t.Errorf("headroom delay = %v, want growth to the 20ms cap", delay)
+	}
+	if batch != tuner.Config().MinBatch {
+		t.Errorf("near-empty batches kept batch = %d, want decay to %d", batch, tuner.Config().MinBatch)
+	}
+}
+
+// TestTunerHoldsWithoutEvidence: below MinSamples the tuner must not act.
+func TestTunerHoldsWithoutEvidence(t *testing.T) {
+	tuner := NewTuner(SLO{TargetP95: 10 * time.Millisecond})
+	batch, delay := tuner.Step(snap(time.Hour, 1.0, 3), 32, 2*time.Millisecond)
+	if batch != 32 || delay != 2*time.Millisecond {
+		t.Errorf("tuner acted on %d samples: (%d, %v)", 3, batch, delay)
+	}
+}
+
+// TestAutotunerLiveConvergence drives a real route whose batcher starts
+// with a hostile 80ms assembly window against a 15ms p95 SLO, under
+// concurrent load. The tuner must pull the window down by at least 4x
+// within a second of traffic — the online half of the acceptance
+// criterion (the keybench serve experiment quantifies the rest).
+func TestAutotunerLiveConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := keystone.Input[float64]()
+	out := keystone.Then(p, keystone.NewOp("ms", func(x float64) []float64 {
+		time.Sleep(time.Millisecond)
+		return []float64{1, x}
+	}))
+	f, err := out.Fit(context.Background(), []float64{1}, nil, keystone.WithOptimizerLevel(keystone.LevelNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer()
+	defer s.Close()
+	rt, err := Register(s, "tuned", f, JSONCodec[float64, []float64]{},
+		WithBatchLimits(8, 80*time.Millisecond),
+		WithSLO(SLO{TargetP95: 15 * time.Millisecond, Interval: 20 * time.Millisecond, MinSamples: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				if _, err := rt.Predict(context.Background(), float64(i)); err != nil {
+					t.Errorf("predict: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(time.Second)
+	stop.Store(true)
+	wg.Wait()
+
+	_, delay := rt.limits()
+	if delay > 20*time.Millisecond {
+		t.Fatalf("autotuner left maxDelay at %v after 1s against a 15ms SLO (started at 80ms)", delay)
+	}
+	t.Logf("converged maxDelay %v from 80ms against 15ms SLO", delay)
+}

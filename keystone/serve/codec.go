@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"keystoneml/keystone"
+)
+
+// Codec translates between a route's JSON wire format and the typed
+// records of its pipeline. Each route owns a codec, which is what lets
+// one Server host text, speech and vision pipelines simultaneously — the
+// registry is type-erased, the codecs are not.
+//
+// DecodeRequest parses a single-prediction body, DecodeBatch a batch
+// body, and Response renders one pipeline output as a JSON-marshalable
+// value.
+type Codec[I, O any] interface {
+	DecodeRequest(body []byte) (I, error)
+	DecodeBatch(body []byte) ([]I, error)
+	Response(out O) any
+}
+
+// Prediction is the standard classification response: the argmax class,
+// its label, and the raw per-class scores.
+type Prediction struct {
+	Label  string    `json:"label"`
+	Class  int       `json:"class"`
+	Scores []float64 `json:"scores"`
+}
+
+// ClassPrediction resolves a score vector to its argmax class and label.
+// Classes beyond the label list (or with empty labels) fall back to
+// "classN", so pipelines with any number of classes serve correct labels
+// — this replaces the old hardcoded binary scores[1] > scores[0] mapping.
+func ClassPrediction(scores []float64, labels []string) Prediction {
+	if len(scores) == 0 {
+		return Prediction{Class: -1, Scores: scores}
+	}
+	best := 0
+	for i, s := range scores {
+		if s > scores[best] {
+			best = i
+		}
+	}
+	label := fmt.Sprintf("class%d", best)
+	if best < len(labels) && labels[best] != "" {
+		label = labels[best]
+	}
+	return Prediction{Label: label, Class: best, Scores: scores}
+}
+
+// TextCodec serves string -> score-vector pipelines with the wire format
+// {"text": "..."} / {"texts": ["...", ...]} and Prediction responses
+// labeled over Labels.
+type TextCodec struct {
+	Labels []string
+}
+
+// DecodeRequest implements Codec.
+func (c TextCodec) DecodeRequest(body []byte) (string, error) {
+	var req struct {
+		Text *string `json:"text"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", fmt.Errorf("bad JSON: %w", err)
+	}
+	if req.Text == nil {
+		return "", fmt.Errorf(`missing "text" field`)
+	}
+	return *req.Text, nil
+}
+
+// DecodeBatch implements Codec.
+func (c TextCodec) DecodeBatch(body []byte) ([]string, error) {
+	var req struct {
+		Texts []string `json:"texts"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("bad JSON: %w", err)
+	}
+	if len(req.Texts) == 0 {
+		return nil, fmt.Errorf(`missing or empty "texts" field`)
+	}
+	return req.Texts, nil
+}
+
+// Response implements Codec.
+func (c TextCodec) Response(out []float64) any { return ClassPrediction(out, c.Labels) }
+
+// VectorCodec serves dense-vector pipelines (e.g. speech features) with
+// the wire format {"vector": [...]} / {"vectors": [[...], ...]}.
+type VectorCodec struct {
+	Labels []string
+	// Dim, when positive, validates the input dimensionality at decode
+	// time so shape errors surface as 400s instead of pipeline panics.
+	Dim int
+}
+
+// DecodeRequest implements Codec.
+func (c VectorCodec) DecodeRequest(body []byte) ([]float64, error) {
+	var req struct {
+		Vector []float64 `json:"vector"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("bad JSON: %w", err)
+	}
+	return c.check(req.Vector)
+}
+
+// DecodeBatch implements Codec.
+func (c VectorCodec) DecodeBatch(body []byte) ([][]float64, error) {
+	var req struct {
+		Vectors [][]float64 `json:"vectors"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("bad JSON: %w", err)
+	}
+	if len(req.Vectors) == 0 {
+		return nil, fmt.Errorf(`missing or empty "vectors" field`)
+	}
+	for i, v := range req.Vectors {
+		if _, err := c.check(v); err != nil {
+			return nil, fmt.Errorf("vector %d: %w", i, err)
+		}
+	}
+	return req.Vectors, nil
+}
+
+func (c VectorCodec) check(v []float64) ([]float64, error) {
+	if len(v) == 0 {
+		return nil, fmt.Errorf(`missing or empty "vector" field`)
+	}
+	if c.Dim > 0 && len(v) != c.Dim {
+		return nil, fmt.Errorf("vector has %d dims, route expects %d", len(v), c.Dim)
+	}
+	return v, nil
+}
+
+// Response implements Codec.
+func (c VectorCodec) Response(out []float64) any { return ClassPrediction(out, c.Labels) }
+
+// imageJSON is the wire form of one image: planar pixels with explicit
+// dimensions.
+type imageJSON struct {
+	Width    int       `json:"width"`
+	Height   int       `json:"height"`
+	Channels int       `json:"channels"`
+	Pixels   []float64 `json:"pixels"`
+}
+
+func (in imageJSON) toImage() (*keystone.Image, error) {
+	ch := in.Channels
+	if ch == 0 {
+		ch = 1
+	}
+	if in.Width <= 0 || in.Height <= 0 || ch < 0 {
+		return nil, fmt.Errorf("invalid image dimensions %dx%dx%d", in.Width, in.Height, ch)
+	}
+	if len(in.Pixels) != in.Width*in.Height*ch {
+		return nil, fmt.Errorf("image %dx%dx%d needs %d pixels, got %d",
+			in.Width, in.Height, ch, in.Width*in.Height*ch, len(in.Pixels))
+	}
+	return &keystone.Image{Width: in.Width, Height: in.Height, Channels: ch, Pix: in.Pixels}, nil
+}
+
+// ImageCodec serves image pipelines with the wire format
+// {"width": W, "height": H, "channels": C, "pixels": [...]} (planar,
+// channels defaulting to 1) and {"images": [{...}, ...]} for batches.
+type ImageCodec struct {
+	Labels []string
+}
+
+// DecodeRequest implements Codec.
+func (c ImageCodec) DecodeRequest(body []byte) (*keystone.Image, error) {
+	var in imageJSON
+	if err := json.Unmarshal(body, &in); err != nil {
+		return nil, fmt.Errorf("bad JSON: %w", err)
+	}
+	return in.toImage()
+}
+
+// DecodeBatch implements Codec.
+func (c ImageCodec) DecodeBatch(body []byte) ([]*keystone.Image, error) {
+	var req struct {
+		Images []imageJSON `json:"images"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("bad JSON: %w", err)
+	}
+	if len(req.Images) == 0 {
+		return nil, fmt.Errorf(`missing or empty "images" field`)
+	}
+	out := make([]*keystone.Image, len(req.Images))
+	for i, in := range req.Images {
+		im, err := in.toImage()
+		if err != nil {
+			return nil, fmt.Errorf("image %d: %w", i, err)
+		}
+		out[i] = im
+	}
+	return out, nil
+}
+
+// Response implements Codec.
+func (c ImageCodec) Response(out []float64) any { return ClassPrediction(out, c.Labels) }
+
+// JSONCodec is the generic fallback for arbitrary record types: requests
+// are {"input": <I as JSON>} / {"inputs": [...]}, responses
+// {"output": <O as JSON>}. Use it for pipelines whose types have natural
+// JSON forms and no classification semantics.
+type JSONCodec[I, O any] struct{}
+
+// DecodeRequest implements Codec.
+func (JSONCodec[I, O]) DecodeRequest(body []byte) (I, error) {
+	var zero I
+	var req struct {
+		Input json.RawMessage `json:"input"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return zero, fmt.Errorf("bad JSON: %w", err)
+	}
+	if len(req.Input) == 0 {
+		return zero, fmt.Errorf(`missing "input" field`)
+	}
+	var in I
+	if err := json.Unmarshal(req.Input, &in); err != nil {
+		return zero, fmt.Errorf(`bad "input": %w`, err)
+	}
+	return in, nil
+}
+
+// DecodeBatch implements Codec.
+func (JSONCodec[I, O]) DecodeBatch(body []byte) ([]I, error) {
+	var req struct {
+		Inputs []json.RawMessage `json:"inputs"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("bad JSON: %w", err)
+	}
+	if len(req.Inputs) == 0 {
+		return nil, fmt.Errorf(`missing or empty "inputs" field`)
+	}
+	out := make([]I, len(req.Inputs))
+	for i, raw := range req.Inputs {
+		if err := json.Unmarshal(raw, &out[i]); err != nil {
+			return nil, fmt.Errorf("input %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Response implements Codec.
+func (JSONCodec[I, O]) Response(out O) any {
+	return struct {
+		Output O `json:"output"`
+	}{Output: out}
+}

@@ -1,0 +1,80 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"keystoneml/keystone"
+	"keystoneml/keystone/serve"
+)
+
+// fitScorer fits a minimal string pipeline that emits a fixed score
+// vector — a stand-in for a real trained classifier (see
+// keystone.TextPipeline) that keeps the example fast and deterministic.
+func fitScorer(scores []float64) *keystone.Fitted[string, []float64] {
+	p := keystone.Then(keystone.Input[string](),
+		keystone.NewOp(fmt.Sprintf("scorer%v", scores), func(string) []float64 { return scores }))
+	fitted, err := p.Fit(context.Background(), []string{"doc"}, nil,
+		keystone.WithOptimizerLevel(keystone.LevelNone))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return fitted
+}
+
+// ExampleServer registers a route on the serving registry, mounts it
+// over HTTP, and hot-swaps a new pipeline version with zero downtime.
+func ExampleServer() {
+	srv := serve.NewServer()
+	defer srv.Close()
+
+	// Any Fitted[I, O] serves: pick a codec for the wire format and,
+	// optionally, an SLO to let the autotuner steer the batcher limits.
+	route, err := serve.Register(srv, "sentiment",
+		fitScorer([]float64{0.2, 0.8}),
+		serve.TextCodec{Labels: []string{"negative", "positive"}},
+		serve.WithSLO(serve.SLO{TargetP95: 20 * time.Millisecond}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Server implements http.Handler; mount it on any listener.
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/predict", "application/json",
+		strings.NewReader(`{"text":"this product is excellent"}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pred serve.Prediction
+	json.NewDecoder(resp.Body).Decode(&pred)
+	resp.Body.Close()
+	fmt.Printf("label=%s class=%d\n", pred.Label, pred.Class)
+
+	// Hot-swap a refitted pipeline behind live traffic: the route's
+	// next request is served by version 2, in-flight requests drain on
+	// version 1, nothing fails.
+	ver, err := route.Deploy(context.Background(), fitScorer([]float64{0.9, 0.1}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("live version:", ver)
+
+	out, err := route.Predict(context.Background(), "this product is excellent")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("post-swap scores:", out)
+
+	// Output:
+	// label=positive class=1
+	// live version: 2
+	// post-swap scores: [0.9 0.1]
+}

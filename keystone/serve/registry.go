@@ -1,0 +1,377 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"keystoneml/keystone"
+)
+
+const (
+	defaultRouteTimeout = 5 * time.Second
+	// maxRequestBody bounds one request body read (predict or batch).
+	maxRequestBody = 32 << 20
+)
+
+var routeNameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9_-]*$`)
+
+// RouteOption configures a route at Register time.
+type RouteOption func(*routeConfig)
+
+type routeConfig struct {
+	maxBatch int
+	maxDelay time.Duration
+	timeout  time.Duration
+	slo      SLO
+}
+
+// WithBatchLimits sets the route's initial micro-batching limits
+// (non-positive values select the batcher defaults: 32 records, 2ms).
+// Under an SLO these are just the autotuner's starting point.
+func WithBatchLimits(maxBatch int, maxDelay time.Duration) RouteOption {
+	return func(c *routeConfig) { c.maxBatch, c.maxDelay = maxBatch, maxDelay }
+}
+
+// WithTimeout bounds each HTTP request's prediction (default 5s).
+func WithTimeout(d time.Duration) RouteOption {
+	return func(c *routeConfig) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
+}
+
+// WithSLO attaches a latency objective: the route runs an autotuner that
+// steers (maxBatch, maxDelay) toward the target p95 online.
+func WithSLO(slo SLO) RouteOption {
+	return func(c *routeConfig) { c.slo = slo }
+}
+
+// Route is a named serving endpoint hosting successive versions of one
+// fitted pipeline. It is created by Register, serves over the Server's
+// HTTP surface (and programmatically via Predict/PredictBatch), and is
+// hot-swapped with Deploy/Rollback. Type-changing registration is a
+// package-level generic for the same reason keystone.Then is.
+type Route[I, O any] struct {
+	server  *Server
+	name    string
+	codec   Codec[I, O]
+	timeout time.Duration
+
+	// refit, when set, backs the POST /routes/{name}/deploy endpoint:
+	// it produces a freshly fitted artifact which is then deployed.
+	refitMu sync.RWMutex
+	refit   func(context.Context) (*keystone.Fitted[I, O], error)
+
+	// tuner state; tunedBatch/tunedDelay carry the current limits across
+	// deploys so a new version's batcher starts where tuning left off.
+	tuner      *Tuner
+	tunerStop  chan struct{}
+	tunedBatch atomic.Int64
+	tunedDelay atomic.Int64
+
+	mu     sync.Mutex // serializes Deploy / Rollback / closeRoute
+	closed bool
+	cur    atomic.Pointer[version[I, O]]
+
+	histMu sync.RWMutex
+	vers   []*version[I, O]
+
+	served atomic.Int64 // records served across all versions and paths
+}
+
+// Register adds a named route serving fitted through codec and returns
+// its typed handle. The first registered route also answers the bare
+// /predict and /predict/batch paths (back-compat with the single-route
+// server). Names are lowercase [a-z0-9_-]+ and must be unique.
+func Register[I, O any](s *Server, name string, fitted *keystone.Fitted[I, O], codec Codec[I, O], opts ...RouteOption) (*Route[I, O], error) {
+	if !routeNameRE.MatchString(name) {
+		return nil, fmt.Errorf("serve: invalid route name %q (want lowercase [a-z0-9_-]+)", name)
+	}
+	if fitted == nil {
+		return nil, fmt.Errorf("serve: route %q registered with nil fitted pipeline", name)
+	}
+	if codec == nil {
+		return nil, fmt.Errorf("serve: route %q registered with nil codec", name)
+	}
+	cfg := routeConfig{timeout: defaultRouteTimeout}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	rt := &Route[I, O]{
+		server:  s,
+		name:    name,
+		codec:   codec,
+		timeout: cfg.timeout,
+	}
+	batch, delay := cfg.maxBatch, cfg.maxDelay
+	if cfg.slo.TargetP95 > 0 {
+		rt.tuner = NewTuner(cfg.slo)
+		batch, delay = rt.tuner.clampLimits(orDefault(batch, 32), orDefaultDur(delay, 2*time.Millisecond))
+	}
+	rt.tunedBatch.Store(int64(batch))
+	rt.tunedDelay.Store(int64(delay))
+	if rt.tuner != nil {
+		// Created before s.add publishes rt: a concurrent Server.Close
+		// may reach closeRoute as soon as the route is visible.
+		rt.tunerStop = make(chan struct{})
+	}
+
+	// Deploy before publishing in the registry so the route is never
+	// visible over HTTP without a live version.
+	rt.mu.Lock()
+	rt.deployLocked(fitted, "initial")
+	rt.mu.Unlock()
+	if err := s.add(name, rt); err != nil {
+		rt.closeRoute()
+		return nil, err
+	}
+	if rt.tuner != nil {
+		// If Close won the race since add, tunerStop is already closed
+		// and the loop exits on its first select.
+		go rt.tuneLoop()
+	}
+	return rt, nil
+}
+
+func orDefault(v, d int) int {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
+func orDefaultDur(v, d time.Duration) time.Duration {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
+// Name returns the route's registered name.
+func (rt *Route[I, O]) Name() string { return rt.name }
+
+// LiveVersion returns the id of the version currently serving (0 after
+// close).
+func (rt *Route[I, O]) LiveVersion() int {
+	if v := rt.cur.Load(); v != nil {
+		return v.id
+	}
+	return 0
+}
+
+// SetRefit installs the trainer backing POST /routes/{name}/deploy: the
+// endpoint calls fn and deploys its result, making hot-swap reachable
+// over HTTP. fn runs under the request's context, so a disconnecting
+// client cancels the refit via the context-aware Fit.
+func (rt *Route[I, O]) SetRefit(fn func(context.Context) (*keystone.Fitted[I, O], error)) {
+	rt.refitMu.Lock()
+	rt.refit = fn
+	rt.refitMu.Unlock()
+}
+
+// Predict runs one record through the live version, micro-batched with
+// concurrent callers.
+func (rt *Route[I, O]) Predict(ctx context.Context, rec I) (O, error) {
+	out, _, err := rt.predict(ctx, rec)
+	return out, err
+}
+
+// PredictBatch runs a caller-assembled batch through the live version's
+// direct batch path.
+func (rt *Route[I, O]) PredictBatch(ctx context.Context, recs []I) ([]O, error) {
+	outs, _, err := rt.predictBatch(ctx, recs)
+	return outs, err
+}
+
+// limits returns the batcher limits a new version should start with.
+func (rt *Route[I, O]) limits() (int, time.Duration) {
+	return int(rt.tunedBatch.Load()), time.Duration(rt.tunedDelay.Load())
+}
+
+// tuneLoop applies the autotuner to the live version's batcher every
+// Interval until the route closes.
+func (rt *Route[I, O]) tuneLoop() {
+	ticker := time.NewTicker(rt.tuner.Config().Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.tunerStop:
+			return
+		case <-ticker.C:
+			v := rt.cur.Load()
+			if v == nil {
+				return
+			}
+			curB, curD := v.batcher.Limits()
+			newB, newD := rt.tuner.Step(v.batcher.Latency(), curB, curD)
+			if newB != curB || newD != curD {
+				v.batcher.SetLimits(newB, newD)
+				rt.tunedBatch.Store(int64(newB))
+				rt.tunedDelay.Store(int64(newD))
+			}
+		}
+	}
+}
+
+// --- HTTP surface (invoked by Server.ServeHTTP) ---
+
+func (rt *Route[I, O]) routeName() string { return rt.name }
+
+func (rt *Route[I, O]) handlePredict(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	rec, err := rt.codec.DecodeRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), rt.timeout)
+	defer cancel()
+	out, ver, err := rt.predict(ctx, rec)
+	if err != nil {
+		httpError(w, statusOf(err), err.Error())
+		return
+	}
+	w.Header().Set("X-Keystone-Version", fmt.Sprint(ver))
+	writeJSON(w, rt.codec.Response(out))
+}
+
+func (rt *Route[I, O]) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	recs, err := rt.codec.DecodeBatch(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), rt.timeout)
+	defer cancel()
+	outs, ver, err := rt.predictBatch(ctx, recs)
+	if err != nil {
+		httpError(w, statusOf(err), err.Error())
+		return
+	}
+	results := make([]any, len(outs))
+	for i, out := range outs {
+		results[i] = rt.codec.Response(out)
+	}
+	w.Header().Set("X-Keystone-Version", fmt.Sprint(ver))
+	writeJSON(w, map[string]any{"results": results})
+}
+
+func (rt *Route[I, O]) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	rt.refitMu.RLock()
+	refit := rt.refit
+	rt.refitMu.RUnlock()
+	if refit == nil {
+		httpError(w, http.StatusNotImplemented, fmt.Sprintf("route %q has no refitter configured", rt.name))
+		return
+	}
+	fitted, err := refit(r.Context())
+	if err != nil {
+		httpError(w, statusOf(err), "refit: "+err.Error())
+		return
+	}
+	ver, err := rt.Deploy(r.Context(), fitted)
+	if err != nil {
+		httpError(w, statusOf(err), err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"route": rt.name, "version": ver})
+}
+
+func (rt *Route[I, O]) handleRollback(w http.ResponseWriter, r *http.Request) {
+	ver, err := rt.Rollback(r.Context())
+	if err != nil {
+		// No-previous-version is the caller's conflict; closed routes
+		// and dead request contexts keep their usual statuses.
+		code := http.StatusConflict
+		if errors.Is(err, ErrRouteClosed) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			code = statusOf(err)
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"route": rt.name, "version": ver})
+}
+
+func (rt *Route[I, O]) versionsValue() []map[string]any {
+	live := 0
+	if v := rt.cur.Load(); v != nil {
+		live = v.id
+	}
+	rt.histMu.RLock()
+	defer rt.histMu.RUnlock()
+	out := make([]map[string]any, len(rt.vers))
+	for i, v := range rt.vers {
+		out[i] = map[string]any{
+			"id":          v.id,
+			"note":        v.note,
+			"deployed_at": v.deployed.UTC().Format(time.RFC3339Nano),
+			"live":        v.id == live,
+			"served":      v.served.Load(),
+		}
+	}
+	return out
+}
+
+func (rt *Route[I, O]) statsValue() map[string]any {
+	rt.histMu.RLock()
+	versions := len(rt.vers)
+	rt.histMu.RUnlock()
+	out := map[string]any{
+		"route":        rt.name,
+		"versions":     versions,
+		"live_version": rt.LiveVersion(),
+		"served":       rt.served.Load(),
+		"autotune":     rt.tuner != nil,
+	}
+	v := rt.cur.Load()
+	if v == nil {
+		return out
+	}
+	st := v.batcher.Stats()
+	out["batches"] = st.Batches
+	out["records"] = st.Records
+	out["largest_batch"] = st.LargestBatch
+	out["in_flight"] = st.InFlight
+	b, d := v.batcher.Limits()
+	out["max_batch"] = b
+	out["max_delay_ms"] = durMS(d)
+	snap := v.batcher.Latency()
+	out["latency_p50_ms"] = durMS(snap.P50)
+	out["latency_p95_ms"] = durMS(snap.P95)
+	out["window_samples"] = snap.Samples
+	out["mean_occupancy"] = snap.MeanOccupancy
+	if rt.tuner != nil {
+		out["slo_target_p95_ms"] = durMS(rt.tuner.Config().TargetP95)
+	}
+	return out
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return nil, false
+	}
+	return body, true
+}

@@ -1,0 +1,272 @@
+// Package serve is the first-class serving layer over fitted keystone
+// pipelines: a typed pipeline registry (one HTTP server hosts text,
+// speech and vision routes simultaneously, each with its own JSON codec,
+// micro-batcher and stats), versioned zero-downtime hot-swap
+// (Deploy/Rollback switch a route's artifact atomically while in-flight
+// batches drain), and an SLO-driven autotuner that retargets each
+// route's (maxBatch, maxDelay) online against a p95 latency objective.
+//
+//	srv := serve.NewServer()
+//	route, _ := serve.Register(srv, "sentiment", fitted,
+//	        serve.TextCodec{Labels: []string{"negative", "positive"}},
+//	        serve.WithSLO(serve.SLO{TargetP95: 20 * time.Millisecond}))
+//	go http.ListenAndServe(":8080", srv)
+//	...
+//	route.Deploy(ctx, refitted) // zero-downtime hot-swap
+//
+// HTTP surface:
+//
+//	POST /predict                      default (first) route, single record
+//	POST /predict/batch                default route, caller-assembled batch
+//	POST /routes/{name}/predict        per-route single record
+//	POST /routes/{name}/predict/batch  per-route batch
+//	GET  /routes                       route listing
+//	GET  /routes/{name}/stats          batcher + latency + limit stats
+//	GET  /routes/{name}/versions       version history (live flag, served counts)
+//	POST /routes/{name}/deploy         refit (SetRefit) + hot-swap
+//	POST /routes/{name}/rollback       redeploy the previous artifact
+//	GET  /stats                        all routes
+//	GET  /healthz                      liveness
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// handler is the type-erased face of Route[I, O] inside the registry.
+type handler interface {
+	routeName() string
+	handlePredict(w http.ResponseWriter, r *http.Request)
+	handleBatch(w http.ResponseWriter, r *http.Request)
+	handleDeploy(w http.ResponseWriter, r *http.Request)
+	handleRollback(w http.ResponseWriter, r *http.Request)
+	versionsValue() []map[string]any
+	statsValue() map[string]any
+	closeRoute()
+}
+
+// Server hosts the pipeline registry and implements http.Handler.
+// Register routes (serve.Register), then mount the server on any
+// net/http listener. Safe for concurrent requests, registrations and
+// deploys.
+type Server struct {
+	mu      sync.RWMutex
+	routes  map[string]handler
+	order   []string // registration order; order[0] answers /predict
+	closed  bool
+	started time.Time
+}
+
+// NewServer returns an empty registry.
+func NewServer() *Server {
+	return &Server{routes: make(map[string]handler), started: time.Now()}
+}
+
+// add registers a route handle; called by Register.
+func (s *Server) add(name string, h handler) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("serve: server closed")
+	}
+	if _, dup := s.routes[name]; dup {
+		return fmt.Errorf("serve: route %q already registered", name)
+	}
+	s.routes[name] = h
+	s.order = append(s.order, name)
+	return nil
+}
+
+// route resolves a handle by name (nil if absent).
+func (s *Server) route(name string) handler {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.routes[name]
+}
+
+// defaultRoute is the first registered route (nil if none).
+func (s *Server) defaultRoute() handler {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.order) == 0 {
+		return nil
+	}
+	return s.routes[s.order[0]]
+}
+
+// RouteNames lists registered routes in registration order.
+func (s *Server) RouteNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// RouteStats returns one route's stats (the same values GET
+// /routes/{name}/stats serves), or nil for an unknown route.
+func (s *Server) RouteStats(name string) map[string]any {
+	h := s.route(name)
+	if h == nil {
+		return nil
+	}
+	return h.statsValue()
+}
+
+// Close drains and closes every route: live batchers finish their
+// in-flight work, autotuners stop, later requests get 503s. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	hs := make([]handler, 0, len(s.routes))
+	for _, h := range s.routes {
+		hs = append(hs, h)
+	}
+	s.mu.Unlock()
+	for _, h := range hs {
+		h.closeRoute()
+	}
+}
+
+// ServeHTTP implements http.Handler over the registry.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimSuffix(r.URL.Path, "/")
+	switch path {
+	case "/healthz":
+		writeJSON(w, map[string]any{"status": "ok", "uptime": time.Since(s.started).String()})
+		return
+	case "/stats":
+		s.handleStats(w)
+		return
+	case "/routes":
+		s.handleRoutes(w, r)
+		return
+	case "/predict", "/predict/batch":
+		h := s.defaultRoute()
+		if h == nil {
+			httpError(w, http.StatusServiceUnavailable, "no routes registered")
+			return
+		}
+		if path == "/predict" {
+			h.handlePredict(w, r)
+		} else {
+			h.handleBatch(w, r)
+		}
+		return
+	}
+	if rest, ok := strings.CutPrefix(path, "/routes/"); ok {
+		name, action, _ := strings.Cut(rest, "/")
+		h := s.route(name)
+		if h == nil {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("no route %q", name))
+			return
+		}
+		switch action {
+		case "predict":
+			h.handlePredict(w, r)
+		case "predict/batch":
+			h.handleBatch(w, r)
+		case "deploy":
+			if !requirePost(w, r) {
+				return
+			}
+			h.handleDeploy(w, r)
+		case "rollback":
+			if !requirePost(w, r) {
+				return
+			}
+			h.handleRollback(w, r)
+		case "versions":
+			writeJSON(w, map[string]any{"route": h.routeName(), "versions": h.versionsValue()})
+		case "stats", "":
+			writeJSON(w, h.statsValue())
+		default:
+			httpError(w, http.StatusNotFound, fmt.Sprintf("no action %q on route %q", action, name))
+		}
+		return
+	}
+	httpError(w, http.StatusNotFound, "not found")
+}
+
+// handleStats renders every route's stats plus server uptime.
+func (s *Server) handleStats(w http.ResponseWriter) {
+	s.mu.RLock()
+	hs := make([]handler, 0, len(s.routes))
+	for _, h := range s.routes {
+		hs = append(hs, h)
+	}
+	s.mu.RUnlock()
+	routes := make(map[string]any, len(hs))
+	for _, h := range hs {
+		routes[h.routeName()] = h.statsValue()
+	}
+	writeJSON(w, map[string]any{
+		"uptime": time.Since(s.started).String(),
+		"routes": routes,
+	})
+}
+
+// handleRoutes renders the route listing.
+func (s *Server) handleRoutes(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	names := s.RouteNames()
+	sorted := make([]string, len(names))
+	copy(sorted, names)
+	sort.Strings(sorted)
+	def := ""
+	if len(names) > 0 {
+		def = names[0]
+	}
+	writeJSON(w, map[string]any{"routes": sorted, "default": def})
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	return true
+}
+
+// statusOf maps prediction errors onto HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	case errors.Is(err, ErrRouteClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("serve: encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+}

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"keystoneml/keystone"
+)
+
+// ErrRouteClosed is returned by route operations after the route (or its
+// server) has been closed.
+var ErrRouteClosed = errors.New("serve: route closed")
+
+// version is one deployed pipeline artifact behind a route: the fitted
+// pipeline, its micro-batcher, and the drain machinery that makes
+// swapping it out lossless.
+//
+// The zero-downtime contract: requests pin the version they load with an
+// RLock held for the whole prediction. Deploy publishes the successor
+// first (the atomic pointer swap), then takes the write lock — which
+// waits for every pinned request to finish — marks the version retired,
+// and only then closes its batcher. A request that loaded the old
+// pointer either gets in before the write lock (and is served normally
+// by the still-running old version) or blocks, observes retired, and
+// retries against the new version. No request ever meets a closed
+// batcher.
+type version[I, O any] struct {
+	id       int
+	note     string
+	fitted   *keystone.Fitted[I, O]
+	batcher  *keystone.Batcher[I, O]
+	deployed time.Time
+	served   atomic.Int64
+
+	gate drainGate
+}
+
+// Deploy fits a new pipeline version behind the running route and
+// atomically switches traffic to it: the route's next request is served
+// by fitted, in-flight requests drain on the previous version, and the
+// previous batcher is closed only once empty. Returns the new version id.
+// Deploys serialize per route; the previous version stays in the history
+// for rollback.
+func (rt *Route[I, O]) Deploy(ctx context.Context, fitted *keystone.Fitted[I, O]) (int, error) {
+	if fitted == nil {
+		return 0, fmt.Errorf("serve: Deploy on route %q with nil fitted pipeline", rt.name)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return 0, ErrRouteClosed
+	}
+	return rt.deployLocked(fitted, "deploy"), nil
+}
+
+// Rollback redeploys the artifact of the version that was live before
+// the current one, as a new version (history is append-only). Returns
+// the new version id.
+func (rt *Route[I, O]) Rollback(ctx context.Context) (int, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return 0, ErrRouteClosed
+	}
+	cur := rt.cur.Load()
+	if cur == nil || cur.id < 2 {
+		return 0, fmt.Errorf("serve: route %q has no previous version to roll back to", rt.name)
+	}
+	rt.histMu.RLock()
+	prev := rt.vers[cur.id-2]
+	rt.histMu.RUnlock()
+	return rt.deployLocked(prev.fitted, fmt.Sprintf("rollback to v%d", prev.id)), nil
+}
+
+// Deploy is the name-addressed form: it resolves the route on the server
+// and type-asserts it, so callers holding only the Server can hot-swap.
+func Deploy[I, O any](ctx context.Context, s *Server, name string, fitted *keystone.Fitted[I, O]) (int, error) {
+	h := s.route(name)
+	if h == nil {
+		return 0, fmt.Errorf("serve: no route %q", name)
+	}
+	rt, ok := h.(*Route[I, O])
+	if !ok {
+		return 0, fmt.Errorf("serve: route %q does not serve this record type", name)
+	}
+	return rt.Deploy(ctx, fitted)
+}
+
+// deployLocked builds, publishes and drains; caller holds rt.mu.
+func (rt *Route[I, O]) deployLocked(fitted *keystone.Fitted[I, O], note string) int {
+	batch, delay := rt.limits()
+	v := &version[I, O]{
+		note:     note,
+		fitted:   fitted,
+		batcher:  keystone.NewBatcher(fitted, batch, delay),
+		deployed: time.Now(),
+	}
+	rt.histMu.Lock()
+	v.id = len(rt.vers) + 1
+	rt.vers = append(rt.vers, v)
+	rt.histMu.Unlock()
+
+	old := rt.cur.Swap(v)
+	if old != nil {
+		old.gate.retire()
+		old.batcher.Close()
+	}
+	return v.id
+}
+
+// drainGate is the per-version admission control behind the hot-swap:
+// requests hold the read side for the duration of a prediction, retire
+// blocks until every holder leaves and then turns new entrants away.
+type drainGate struct {
+	mu      sync.RWMutex
+	retired bool
+}
+
+// enter pins the version; callers must leave() after the prediction.
+// false means the version retired — retry on the current pointer.
+func (g *drainGate) enter() bool {
+	g.mu.RLock()
+	if g.retired {
+		g.mu.RUnlock()
+		return false
+	}
+	return true
+}
+
+func (g *drainGate) leave() { g.mu.RUnlock() }
+
+// retire waits out every pinned request, then marks the gate closed.
+func (g *drainGate) retire() {
+	g.mu.Lock()
+	g.retired = true
+	g.mu.Unlock()
+}
+
+// predict serves one record from whatever version is live, retrying
+// across a concurrent swap; it reports the version that served.
+func (rt *Route[I, O]) predict(ctx context.Context, rec I) (O, int, error) {
+	var zero O
+	for {
+		v := rt.cur.Load()
+		if v == nil {
+			return zero, 0, ErrRouteClosed
+		}
+		if !v.gate.enter() {
+			continue // swapped out under us; retry on the successor
+		}
+		out, err := v.batcher.Predict(ctx, rec)
+		if err == nil {
+			rt.served.Add(1)
+			v.served.Add(1)
+		}
+		id := v.id
+		v.gate.leave()
+		return out, id, err
+	}
+}
+
+// predictBatch serves a caller-assembled batch on the live version's
+// direct batch path (no micro-batching — the caller already batched).
+func (rt *Route[I, O]) predictBatch(ctx context.Context, recs []I) ([]O, int, error) {
+	for {
+		v := rt.cur.Load()
+		if v == nil {
+			return nil, 0, ErrRouteClosed
+		}
+		if !v.gate.enter() {
+			continue
+		}
+		outs, err := v.fitted.TransformBatch(ctx, recs)
+		if err == nil {
+			rt.served.Add(int64(len(recs)))
+			v.served.Add(int64(len(recs)))
+		}
+		id := v.id
+		v.gate.leave()
+		return outs, id, err
+	}
+}
+
+// closeRoute retires the live version and stops the tuner. Requests in
+// flight complete; later ones get ErrRouteClosed.
+func (rt *Route[I, O]) closeRoute() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return
+	}
+	rt.closed = true
+	if rt.tunerStop != nil {
+		close(rt.tunerStop)
+	}
+	old := rt.cur.Swap(nil)
+	if old != nil {
+		old.gate.retire()
+		old.batcher.Close()
+	}
+}

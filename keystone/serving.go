@@ -3,6 +3,7 @@ package keystone
 import (
 	"context"
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,31 +12,62 @@ import (
 // ErrBatcherClosed is returned by Predict after Close.
 var ErrBatcherClosed = errors.New("keystone: batcher closed")
 
+const (
+	defaultMaxBatch = 32
+	defaultMaxDelay = 2 * time.Millisecond
+	// batcherQueueDepth bounds requests queued ahead of batch assembly;
+	// beyond it Predict callers block (back-pressure) until the loop
+	// drains or their context fires.
+	batcherQueueDepth = 256
+	// flushOverlap bounds how many batches may execute in the pipeline
+	// simultaneously. With 1 the old head-of-line behaviour returns: a
+	// slow batch blocks the next from forming. With 2+ the assembly loop
+	// keeps collecting while earlier batches execute.
+	flushOverlap = 2
+	// latWindowSize is the ring capacity of the latency/occupancy window
+	// behind Latency(); sized so p95 has resolution without unbounded
+	// memory.
+	latWindowSize = 256
+)
+
 // Batcher coalesces concurrent single-record Predict calls into batched
-// TransformBatch invocations: a batch is flushed when it reaches MaxBatch
-// records or MaxDelay after its first record, whichever comes first. This
+// TransformBatch invocations: a batch is flushed when it reaches maxBatch
+// records or maxDelay after its first record, whichever comes first. This
 // is the serving-side micro-batching pattern — callers keep a
 // one-record-at-a-time API while the pipeline sees amortized batches.
 //
+// Flushes overlap: up to a small bound of batches execute in the pipeline
+// concurrently, so a slow batch does not head-of-line-block the next batch
+// from forming. Limits are dynamic — SetLimits retargets (maxBatch,
+// maxDelay) while the batcher runs, which is how the serve package's
+// SLO-driven autotuner steers latency — and Latency() exposes a sliding
+// window of observed request latencies and batch occupancy for exactly
+// that feedback loop.
+//
 // A Batcher is safe for any number of concurrent Predict callers.
 type Batcher[I, O any] struct {
-	fitted   *Fitted[I, O]
-	maxBatch int
-	maxDelay time.Duration
+	fitted *Fitted[I, O]
 
-	reqs chan batchReq[I, O]
-	quit chan struct{}
-	wg   sync.WaitGroup
+	maxBatch atomic.Int64
+	maxDelay atomic.Int64 // nanoseconds
+
+	reqs       chan batchReq[I, O]
+	quit       chan struct{}
+	flushSlots chan struct{}
+	wg         sync.WaitGroup
 
 	batches  atomic.Int64
 	records  atomic.Int64
 	largest  atomic.Int64
 	inflight atomic.Int64
+
+	window latWindow
 }
 
 type batchReq[I, O any] struct {
 	ctx  context.Context
 	rec  I
+	enq  time.Time
 	resp chan batchResp[O]
 }
 
@@ -47,22 +79,35 @@ type batchResp[O any] struct {
 // NewBatcher wraps a fitted pipeline in a micro-batching front. maxBatch
 // <= 0 defaults to 32; maxDelay <= 0 defaults to 2ms.
 func NewBatcher[I, O any](f *Fitted[I, O], maxBatch int, maxDelay time.Duration) *Batcher[I, O] {
-	if maxBatch <= 0 {
-		maxBatch = 32
-	}
-	if maxDelay <= 0 {
-		maxDelay = 2 * time.Millisecond
-	}
 	b := &Batcher[I, O]{
-		fitted:   f,
-		maxBatch: maxBatch,
-		maxDelay: maxDelay,
-		reqs:     make(chan batchReq[I, O], maxBatch),
-		quit:     make(chan struct{}),
+		fitted:     f,
+		reqs:       make(chan batchReq[I, O], batcherQueueDepth),
+		quit:       make(chan struct{}),
+		flushSlots: make(chan struct{}, flushOverlap),
 	}
+	b.SetLimits(maxBatch, maxDelay)
 	b.wg.Add(1)
 	go b.loop()
 	return b
+}
+
+// SetLimits retargets the batch assembly limits; the next batch to form
+// observes them. Non-positive values restore the defaults (32, 2ms).
+// Safe to call concurrently with serving traffic.
+func (b *Batcher[I, O]) SetLimits(maxBatch int, maxDelay time.Duration) {
+	if maxBatch <= 0 {
+		maxBatch = defaultMaxBatch
+	}
+	if maxDelay <= 0 {
+		maxDelay = defaultMaxDelay
+	}
+	b.maxBatch.Store(int64(maxBatch))
+	b.maxDelay.Store(int64(maxDelay))
+}
+
+// Limits returns the current (maxBatch, maxDelay) targets.
+func (b *Batcher[I, O]) Limits() (int, time.Duration) {
+	return int(b.maxBatch.Load()), time.Duration(b.maxDelay.Load())
 }
 
 // Predict runs one record through the pipeline, transparently sharing a
@@ -74,7 +119,7 @@ func (b *Batcher[I, O]) Predict(ctx context.Context, rec I) (O, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	req := batchReq[I, O]{ctx: ctx, rec: rec, resp: make(chan batchResp[O], 1)}
+	req := batchReq[I, O]{ctx: ctx, rec: rec, enq: time.Now(), resp: make(chan batchResp[O], 1)}
 	select {
 	case b.reqs <- req:
 	case <-ctx.Done():
@@ -92,8 +137,8 @@ func (b *Batcher[I, O]) Predict(ctx context.Context, rec I) (O, error) {
 	}
 }
 
-// Close stops the batch loop. Queued requests fail with ErrBatcherClosed;
-// Close waits for the loop to exit.
+// Close stops the batch loop and waits for in-flight flushes to finish
+// delivering. Requests still queued fail with ErrBatcherClosed.
 func (b *Batcher[I, O]) Close() {
 	close(b.quit)
 	b.wg.Wait()
@@ -117,16 +162,34 @@ func (b *Batcher[I, O]) Stats() BatcherStats {
 	}
 }
 
+// LatencySnapshot summarizes the sliding window of recent serving
+// behaviour: request latencies (enqueue to response) and how full batches
+// were relative to the maxBatch limit when they flushed. The serve
+// package's autotuner feeds on this.
+type LatencySnapshot struct {
+	Samples       int           // latency observations in the window
+	P50           time.Duration // median request latency over the window
+	P95           time.Duration // 95th-percentile request latency
+	Batches       int           // occupancy observations in the window
+	MeanOccupancy float64       // mean batch fill fraction vs maxBatch
+}
+
+// Latency computes quantiles over the sliding window. O(window log window).
+func (b *Batcher[I, O]) Latency() LatencySnapshot {
+	return b.window.snapshot()
+}
+
 func (b *Batcher[I, O]) loop() {
 	defer b.wg.Done()
 	for {
 		select {
 		case first := <-b.reqs:
-			batch := make([]batchReq[I, O], 1, b.maxBatch)
+			maxBatch, maxDelay := b.Limits()
+			batch := make([]batchReq[I, O], 1, maxBatch)
 			batch[0] = first
-			timer := time.NewTimer(b.maxDelay)
+			timer := time.NewTimer(maxDelay)
 		fill:
-			for len(batch) < b.maxBatch {
+			for len(batch) < maxBatch {
 				select {
 				case r := <-b.reqs:
 					batch = append(batch, r)
@@ -139,7 +202,22 @@ func (b *Batcher[I, O]) loop() {
 				}
 			}
 			timer.Stop()
-			b.flush(batch)
+			// Overlapping flush: take an execution slot (bounding
+			// pipeline concurrency) and run the batch in the
+			// background so assembly of the next batch starts
+			// immediately.
+			select {
+			case b.flushSlots <- struct{}{}:
+			case <-b.quit:
+				b.fail(batch)
+				return
+			}
+			b.wg.Add(1)
+			go func(batch []batchReq[I, O], capacity int) {
+				defer b.wg.Done()
+				defer func() { <-b.flushSlots }()
+				b.flush(batch, capacity)
+			}(batch, maxBatch)
 		case <-b.quit:
 			return
 		}
@@ -148,8 +226,9 @@ func (b *Batcher[I, O]) loop() {
 
 // flush executes one batch and fans results back to the waiters.
 // Requests whose callers abandoned ship while queued are dropped before
-// the pipeline runs.
-func (b *Batcher[I, O]) flush(batch []batchReq[I, O]) {
+// the pipeline runs. capacity is the maxBatch limit the batch was
+// assembled under, for the occupancy observation.
+func (b *Batcher[I, O]) flush(batch []batchReq[I, O], capacity int) {
 	live := batch[:0]
 	for _, r := range batch {
 		if r.ctx.Err() == nil {
@@ -168,14 +247,20 @@ func (b *Batcher[I, O]) flush(batch []batchReq[I, O]) {
 	outs, err := b.fitted.TransformBatch(context.Background(), recs)
 	b.batches.Add(1)
 	b.records.Add(int64(len(live)))
-	if n := int64(len(live)); n > b.largest.Load() {
-		b.largest.Store(n)
+	for n := int64(len(live)); ; {
+		cur := b.largest.Load()
+		if n <= cur || b.largest.CompareAndSwap(cur, n) {
+			break
+		}
 	}
+	b.window.observeOccupancy(float64(len(live)) / float64(capacity))
+	now := time.Now()
 	for i, r := range live {
 		if err != nil {
 			r.resp <- batchResp[O]{err: err}
 			continue
 		}
+		b.window.observeLatency(now.Sub(r.enq))
 		r.resp <- batchResp[O]{out: outs[i]}
 	}
 }
@@ -186,4 +271,52 @@ func (b *Batcher[I, O]) fail(batch []batchReq[I, O]) {
 	for _, r := range batch {
 		r.resp <- batchResp[O]{err: ErrBatcherClosed}
 	}
+}
+
+// latWindow is a mutex-guarded pair of fixed rings: per-request latencies
+// and per-batch occupancy fractions. Overwrites oldest first.
+type latWindow struct {
+	mu   sync.Mutex
+	lats [latWindowSize]time.Duration
+	occs [latWindowSize]float64
+	nLat int // total latency observations ever
+	nOcc int // total occupancy observations ever
+}
+
+func (w *latWindow) observeLatency(d time.Duration) {
+	w.mu.Lock()
+	w.lats[w.nLat%latWindowSize] = d
+	w.nLat++
+	w.mu.Unlock()
+}
+
+func (w *latWindow) observeOccupancy(f float64) {
+	w.mu.Lock()
+	w.occs[w.nOcc%latWindowSize] = f
+	w.nOcc++
+	w.mu.Unlock()
+}
+
+func (w *latWindow) snapshot() LatencySnapshot {
+	w.mu.Lock()
+	nl := min(w.nLat, latWindowSize)
+	lats := make([]time.Duration, nl)
+	copy(lats, w.lats[:nl])
+	no := min(w.nOcc, latWindowSize)
+	var occSum float64
+	for _, f := range w.occs[:no] {
+		occSum += f
+	}
+	w.mu.Unlock()
+
+	snap := LatencySnapshot{Samples: nl, Batches: no}
+	if no > 0 {
+		snap.MeanOccupancy = occSum / float64(no)
+	}
+	if nl > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		snap.P50 = lats[nl/2]
+		snap.P95 = lats[(nl*95)/100]
+	}
+	return snap
 }

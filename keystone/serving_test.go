@@ -3,7 +3,10 @@ package keystone
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -124,6 +127,189 @@ func TestBatcherClose(t *testing.T) {
 	b.Close()
 	if _, err := b.Predict(context.Background(), recs[0]); !errors.Is(err, ErrBatcherClosed) {
 		t.Fatalf("want ErrBatcherClosed, got %v", err)
+	}
+}
+
+// atProcs runs fn as subtests pinned to single-proc and multi-proc
+// schedules: on one proc the races are ordering bugs, on four they are
+// true data races — the batcher must survive both.
+func atProcs(t *testing.T, fn func(t *testing.T)) {
+	t.Helper()
+	for _, procs := range []int{1, 4} {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			old := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(old)
+			fn(t)
+		})
+	}
+}
+
+// fitFn fits a trivial single-op pipeline for batcher plumbing tests —
+// no estimator, no optimizer work, so the races dominate the runtime.
+func fitFn(t *testing.T, name string, fn func(float64) []float64) *Fitted[float64, []float64] {
+	t.Helper()
+	p := Input[float64]()
+	out := Then(p, NewOp(name, fn))
+	f, err := out.Fit(context.Background(), []float64{1}, nil, WithOptimizerLevel(LevelNone))
+	if err != nil {
+		t.Fatalf("fit %s: %v", name, err)
+	}
+	return f
+}
+
+// TestBatcherCloseUnderLoad: Close racing a storm of concurrent Predict
+// callers must neither hang nor panic; every call resolves to a result
+// or ErrBatcherClosed, and Close returns only after in-flight flushes
+// delivered.
+func TestBatcherCloseUnderLoad(t *testing.T) {
+	atProcs(t, func(t *testing.T) {
+		f := fitFn(t, "spin", func(x float64) []float64 {
+			time.Sleep(200 * time.Microsecond)
+			return []float64{x}
+		})
+		b := NewBatcher(f, 4, 500*time.Microsecond)
+		const callers = 8
+		var wg sync.WaitGroup
+		var served, closed atomic.Int64
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					out, err := b.Predict(context.Background(), float64(i))
+					switch {
+					case err == nil:
+						if len(out) != 1 || out[0] != float64(i) {
+							t.Errorf("wrong result %v for %d", out, i)
+							return
+						}
+						served.Add(1)
+					case errors.Is(err, ErrBatcherClosed):
+						closed.Add(1)
+						return
+					default:
+						t.Errorf("unexpected error: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		time.Sleep(20 * time.Millisecond)
+		b.Close()
+		wg.Wait()
+		if closed.Load() != callers {
+			t.Fatalf("%d callers saw ErrBatcherClosed, want %d", closed.Load(), callers)
+		}
+		if served.Load() == 0 {
+			t.Fatal("no requests served before Close")
+		}
+		// Close is idempotent for Predict: still ErrBatcherClosed.
+		if _, err := b.Predict(context.Background(), 1); !errors.Is(err, ErrBatcherClosed) {
+			t.Fatalf("post-Close Predict = %v", err)
+		}
+	})
+}
+
+// TestBatcherAbandonMidQueue: callers whose contexts die while queued are
+// dropped before the pipeline runs — the flush serves only the survivors
+// and the records counter proves the dead ones never executed.
+func TestBatcherAbandonMidQueue(t *testing.T) {
+	atProcs(t, func(t *testing.T) {
+		f := fitFn(t, "echo", func(x float64) []float64 { return []float64{x} })
+		// A wide-open window so requests sit queued until it expires.
+		b := NewBatcher(f, 16, 120*time.Millisecond)
+		defer b.Close()
+
+		ctx, cancel := context.WithCancel(context.Background())
+		var abandoned sync.WaitGroup
+		for i := 0; i < 3; i++ {
+			abandoned.Add(1)
+			go func(i int) {
+				defer abandoned.Done()
+				if _, err := b.Predict(ctx, float64(100+i)); !errors.Is(err, context.Canceled) {
+					t.Errorf("abandoned caller got %v, want Canceled", err)
+				}
+			}(i)
+		}
+		time.Sleep(10 * time.Millisecond) // let them enqueue into the open batch
+		cancel()
+
+		out, err := b.Predict(context.Background(), 7)
+		if err != nil || out[0] != 7 {
+			t.Fatalf("surviving caller got %v, %v", out, err)
+		}
+		abandoned.Wait()
+		if st := b.Stats(); st.Records != 1 {
+			t.Fatalf("pipeline executed %d records, want 1 (abandoned requests must be dropped)", st.Records)
+		}
+	})
+}
+
+// TestBatcherOverlappingFlush: with one batch stalled inside the
+// pipeline, the loop must keep assembling and flushing subsequent
+// batches — the old synchronous flush head-of-line-blocked here.
+func TestBatcherOverlappingFlush(t *testing.T) {
+	atProcs(t, func(t *testing.T) {
+		gate := make(chan struct{})
+		entered := make(chan struct{}, 1)
+		// Sentinel 42 is absent from the training data, so Fit itself
+		// never trips the gate.
+		f := fitFn(t, "gated", func(x float64) []float64 {
+			if x == 42 {
+				entered <- struct{}{}
+				<-gate
+			}
+			return []float64{x}
+		})
+		b := NewBatcher(f, 1, 100*time.Microsecond)
+		defer b.Close()
+
+		stalled := make(chan error, 1)
+		go func() {
+			_, err := b.Predict(context.Background(), 42)
+			stalled <- err
+		}()
+		<-entered // batch 1 now occupies a flush slot
+
+		// Batch 2 must complete while batch 1 is still executing.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		out, err := b.Predict(ctx, 2)
+		if err != nil {
+			t.Fatalf("second batch did not overlap the stalled first: %v", err)
+		}
+		if out[0] != 2 {
+			t.Fatalf("second batch result %v", out)
+		}
+		close(gate)
+		if err := <-stalled; err != nil {
+			t.Fatalf("stalled batch failed: %v", err)
+		}
+	})
+}
+
+// TestBatcherSetLimitsLive: retargeting limits mid-traffic takes effect
+// on subsequent batches and never disrupts service.
+func TestBatcherSetLimitsLive(t *testing.T) {
+	f := fitFn(t, "echo2", func(x float64) []float64 { return []float64{x} })
+	b := NewBatcher(f, 4, time.Millisecond)
+	defer b.Close()
+	if _, err := b.Predict(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	b.SetLimits(64, 3*time.Millisecond)
+	if mb, md := b.Limits(); mb != 64 || md != 3*time.Millisecond {
+		t.Fatalf("Limits() = (%d, %v) after SetLimits", mb, md)
+	}
+	if _, err := b.Predict(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	b.SetLimits(0, 0) // non-positive restores defaults
+	if mb, md := b.Limits(); mb != 32 || md != 2*time.Millisecond {
+		t.Fatalf("Limits() = (%d, %v) after reset, want defaults", mb, md)
+	}
+	if snap := b.Latency(); snap.Samples < 2 {
+		t.Fatalf("latency window recorded %d samples, want >= 2", snap.Samples)
 	}
 }
 
