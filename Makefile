@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet staticcheck bench-smoke bench bench-sched bench-serve serve serve-smoke ci
+.PHONY: build test race vet staticcheck docs-check bench-smoke bench bench-sched bench-serve bench-canary serve serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,15 @@ staticcheck:
 		$(GO) run honnef.co/go/tools/cmd/staticcheck@2024.1.1 ./...; \
 	fi
 
+# The documentation gate: vet, enforced gofmt, and the doccheck tool,
+# which fails on any missing package overview or undocumented exported
+# identifier in the public packages. CI runs this on every push, so
+# `go doc keystone` / `go doc keystone/serve` stay complete.
+docs-check: vet
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then echo "gofmt -l flags:"; echo "$$out"; exit 1; fi
+	$(GO) run ./cmd/doccheck keystone keystone/serve
+
 # A short benchmark pass at Quick scale: compiles every benchmark and
 # runs each once, catching bit-rot without CI-hostile runtimes.
 bench-smoke:
@@ -52,6 +61,13 @@ bench-sched:
 bench-serve:
 	$(GO) run ./cmd/keybench -exp serve
 
+# The rollout-safety experiment: a degraded candidate caught at a 10%
+# canary fraction and aborted with zero failed requests, then admission
+# control holding p95 near the SLO under 4x overload while the
+# unprotected server collapses.
+bench-canary:
+	$(GO) run ./cmd/keybench -exp canary
+
 # The HTTP inference server (trains text + vision pipelines at startup).
 serve:
 	$(GO) run ./cmd/keyserve -routes text,vision
@@ -63,4 +79,4 @@ serve:
 serve-smoke:
 	$(GO) run ./cmd/servesmoke
 
-ci: vet build race bench-smoke serve-smoke
+ci: docs-check build race bench-smoke serve-smoke

@@ -1,0 +1,146 @@
+// doccheck is the documentation gate behind `make docs-check`: it
+// parses the given package directories (non-test files only) and fails
+// if a package lacks a `// Package ...` overview or any exported
+// identifier — function, method on an exported type, type, constant or
+// variable — lacks a doc comment. A doc comment on a const/var/type
+// group covers the group's members, matching godoc rendering.
+//
+//	go run ./cmd/doccheck keystone keystone/serve
+//
+// It exits non-zero listing every violation as file:line, so the gate
+// both enforces and locates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: doccheck <package-dir> [package-dir...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var violations int
+	for _, dir := range flag.Args() {
+		violations += checkDir(dir)
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d missing doc comment(s)\n", violations)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one directory as a package and reports violations.
+func checkDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+		return 1
+	}
+	count := 0
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			fmt.Printf("%s: package %s has no `// Package %s ...` overview\n", dir, pkg.Name, pkg.Name)
+			count++
+		}
+		for name, f := range pkg.Files {
+			count += checkFile(fset, name, f)
+		}
+	}
+	return count
+}
+
+// checkFile walks one file's top-level declarations.
+func checkFile(fset *token.FileSet, name string, f *ast.File) int {
+	count := 0
+	report := func(pos token.Pos, what string) {
+		fmt.Printf("%s: %s undocumented\n", fset.Position(pos), what)
+		count++
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil {
+				recv := receiverName(d.Recv)
+				if !ast.IsExported(recv) {
+					continue // method on an unexported type
+				}
+				report(d.Pos(), fmt.Sprintf("method %s.%s", recv, d.Name.Name))
+			} else {
+				report(d.Pos(), "func "+d.Name.Name)
+			}
+		case *ast.GenDecl:
+			if d.Doc != nil {
+				continue // a group comment documents the group
+			}
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && sp.Doc == nil {
+						report(sp.Pos(), "type "+sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if sp.Doc != nil {
+						continue
+					}
+					for _, n := range sp.Names {
+						if n.IsExported() {
+							kind := "var"
+							if d.Tok == token.CONST {
+								kind = "const"
+							}
+							report(n.Pos(), kind+" "+n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return count
+}
+
+// receiverName extracts the receiver's base type name (unwrapping
+// pointers and type parameters).
+func receiverName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr:
+			t = v.X
+		case *ast.IndexListExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.Name
+		default:
+			return ""
+		}
+	}
+}

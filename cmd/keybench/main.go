@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig6, table2, fig7, costmodel, table3, table5, fig8, table6, fig9, fig10, fig11, fig12, parallel, sched, serve)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig6, table2, fig7, costmodel, table3, table5, fig8, table6, fig9, fig10, fig11, fig12, parallel, sched, serve, canary)")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	flag.Parse()
 
@@ -50,6 +50,7 @@ func main() {
 		{"parallel", func() { experiments.ParallelExec(w, scale) }},
 		{"sched", func() { experiments.SchedulePlanExp(w, scale) }},
 		{"serve", func() { experiments.ServeAutotune(w, scale) }},
+		{"canary", func() { experiments.ServeCanary(w, scale) }},
 	}
 
 	ran := false

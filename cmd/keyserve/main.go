@@ -5,18 +5,26 @@
 // hot-swap, SLO-driven batch autotuning, stats — lives in the serve
 // package.
 //
-//	go run ./cmd/keyserve -addr :8080 -routes text,vision -target-p95 20ms
+//	go run ./cmd/keyserve -addr :8080 -routes text,vision -target-p95 20ms -max-inflight 256
 //	curl -s localhost:8080/predict -d '{"text":"this product is excellent"}'
 //	curl -s localhost:8080/routes/vision/predict -d @image.json
 //	curl -s -X POST localhost:8080/routes/text/deploy   # refit + hot-swap
+//	curl -s -X POST localhost:8080/routes/text/canary -d '{"fraction":0.1}'
+//	curl -s localhost:8080/routes/text/canary           # candidate vs primary
+//	curl -s -X POST localhost:8080/routes/text/promote  # or .../abort
 //	curl -s -X POST localhost:8080/routes/text/rollback
 //	curl -s localhost:8080/routes/text/versions
 //	curl -s localhost:8080/stats
 //
 // Each route has a refitter wired, so POST /routes/{name}/deploy trains
 // a fresh pipeline version on new synthetic data and swaps it in with
-// zero downtime. SIGINT/SIGTERM cancel startup training (via the
-// context-aware Fit) and gracefully drain the server.
+// zero downtime, and POST /routes/{name}/canary (or /shadow) stages one
+// behind the splitter instead. -max-inflight/-max-queue turn on
+// admission control (overload sheds 429 + Retry-After). The listener is
+// bound before training starts, so a port held by a stale process fails
+// fast instead of training first and dying late. SIGINT/SIGTERM cancel
+// startup training (via the context-aware Fit) and gracefully drain the
+// server.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,7 +54,12 @@ func main() {
 		maxBatch  = flag.Int("max-batch", 32, "initial micro-batch size cap")
 		maxDelay  = flag.Duration("max-delay", 2*time.Millisecond, "initial micro-batch window")
 		targetP95 = flag.Duration("target-p95", 0, "p95 latency SLO; enables the batch autotuner (0 = static limits)")
+		tputFloor = flag.Float64("throughput-floor", 0, "records/sec floor for the autotuner's multi-objective mode (0 = p95 only)")
 		timeout   = flag.Duration("timeout", 5*time.Second, "per-request budget")
+
+		maxInFlight = flag.Int("max-inflight", 0, "admission control: per-route cap on in-flight records; overload sheds 429 (0 = unlimited)")
+		maxQueue    = flag.Int("max-queue", 0, "admission control: shed single predictions while the batcher queue is this deep (0 = unlimited)")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
 
 		trainDocs = flag.Int("train-docs", 2000, "text: synthetic training corpus size")
 		features  = flag.Int("features", 5000, "text: vocabulary size")
@@ -61,6 +75,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// Bind before the (potentially long) startup training: a port held by
+	// a stale keyserve fails the run immediately with a clear message
+	// instead of training for seconds and then dying — and instead of
+	// leaving a smoke-test driver polling a server that will never come.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("bind %s: %v (is a stale keyserve still running on this port?)", *addr, err)
+	}
+
 	srv := serve.NewServer()
 	defer srv.Close()
 
@@ -69,16 +92,30 @@ func main() {
 		serve.WithTimeout(*timeout),
 	}
 	if *targetP95 > 0 {
-		opts = append(opts, serve.WithSLO(serve.SLO{TargetP95: *targetP95}))
+		opts = append(opts, serve.WithSLO(serve.SLO{
+			TargetP95:       *targetP95,
+			ThroughputFloor: *tputFloor,
+		}))
+	}
+	if *maxInFlight > 0 || *maxQueue > 0 {
+		opts = append(opts, serve.WithAdmission(serve.Admission{
+			MaxInFlight: *maxInFlight,
+			MaxQueue:    *maxQueue,
+			RetryAfter:  *retryAfter,
+		}))
 	}
 
 	for _, name := range strings.Split(*routes, ",") {
 		var err error
 		switch strings.TrimSpace(name) {
 		case "text":
+			labelList := strings.Split(*labels, ",")
+			for i := range labelList {
+				labelList[i] = strings.TrimSpace(labelList[i])
+			}
 			err = registerText(ctx, srv, textParams{
 				docs: *trainDocs, features: *features, iters: *iters,
-				labels: strings.Split(*labels, ","), workers: *workers,
+				labels: labelList, workers: *workers,
 			}, opts)
 		case "vision":
 			err = registerVision(ctx, srv, visionParams{
@@ -116,10 +153,17 @@ func main() {
 	tuning := "static limits"
 	if *targetP95 > 0 {
 		tuning = fmt.Sprintf("autotuning to p95 %v", *targetP95)
+		if *tputFloor > 0 {
+			tuning += fmt.Sprintf(" with a %.0f rec/s floor", *tputFloor)
+		}
 	}
-	log.Printf("serving routes %v on %s (max-batch=%d, window=%v, %s)",
-		srv.RouteNames(), *addr, *maxBatch, *maxDelay, tuning)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	admission := "admission off"
+	if *maxInFlight > 0 || *maxQueue > 0 {
+		admission = fmt.Sprintf("admission in-flight<=%d queue<=%d", *maxInFlight, *maxQueue)
+	}
+	log.Printf("serving routes %v on %s (max-batch=%d, window=%v, %s, %s)",
+		srv.RouteNames(), ln.Addr(), *maxBatch, *maxDelay, tuning, admission)
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("serve: %v", err)
 	}
 }

@@ -1,10 +1,14 @@
 // servesmoke is the end-to-end serving smoke test behind `make
 // serve-smoke`: it builds and boots a real keyserve process (text +
-// vision routes, autotuner on), exercises /predict, /predict/batch, the
-// vision route, a live hot-swap under concurrent load, rollback,
-// /versions and /stats, then shuts the server down gracefully and
-// verifies a clean exit. Pure Go — no curl dependency — so it runs
-// identically in CI and locally.
+// vision routes, autotuner and admission control on), exercises
+// /predict, /predict/batch, the vision route, a live hot-swap under
+// concurrent load, rollback, a canary rollout (stage at 50%, observe
+// both versions serving, promote), an overload burst that must shed
+// with 429 + Retry-After, /versions and /stats, then shuts the server
+// down gracefully and verifies a clean exit. Pure Go — no curl
+// dependency — so it runs identically in CI and locally. Any failure
+// (including keyserve dying at startup, e.g. its port already bound)
+// exits non-zero immediately, which `make serve-smoke` propagates.
 //
 //	go run ./cmd/servesmoke
 package main
@@ -65,6 +69,9 @@ func run() error {
 		"-train-docs", "400", "-features", "1500", "-iters", "6",
 		"-train-images", "60", "-image-size", "16", "-image-classes", "3",
 		"-target-p95", "25ms",
+		// Admission: ample for the functional legs (≤5 concurrent
+		// records), tripped deliberately by the 64-way overload burst.
+		"-max-inflight", "8", "-retry-after", "2s",
 	)
 	cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
 	if err := cmd.Start(); err != nil {
@@ -214,6 +221,101 @@ func run() error {
 		return fmt.Errorf("/stats missing vision route")
 	}
 
+	// Canary rollout: stage a refit candidate at 50%, drive traffic until
+	// both versions have served, inspect the comparison, promote. The
+	// control plane and every data-plane request must succeed throughout.
+	log.Print("canary: stage at 50%, observe, promote...")
+	var staged struct {
+		CandidateVersion int     `json:"candidate_version"`
+		Fraction         float64 `json:"fraction"`
+	}
+	if err := postJSON(base+"/routes/text/canary", `{"fraction":0.5}`, &staged); err != nil {
+		return fmt.Errorf("/routes/text/canary: %w", err)
+	}
+	if staged.CandidateVersion != 4 || staged.Fraction != 0.5 {
+		return fmt.Errorf("canary staged %+v, want candidate version 4 at 0.5", staged)
+	}
+	var canary struct {
+		Mode      string `json:"mode"`
+		Primary   struct{ Served int64 }
+		Candidate struct{ Served int64 }
+	}
+	for i := 0; i < 200; i++ {
+		if err := postJSON(base+"/predict", `{"text":"canary traffic"}`, nil); err != nil {
+			return fmt.Errorf("predict under canary: %w", err)
+		}
+		if i%50 == 49 {
+			if err := getJSON(base+"/routes/text/canary", &canary); err != nil {
+				return fmt.Errorf("/routes/text/canary stats: %w", err)
+			}
+			if canary.Primary.Served > 0 && canary.Candidate.Served > 0 {
+				break
+			}
+		}
+	}
+	if canary.Mode != "canary" || canary.Primary.Served == 0 || canary.Candidate.Served == 0 {
+		return fmt.Errorf("canary comparison %+v, want traffic on both versions", canary)
+	}
+	var promoted struct {
+		Version int `json:"version"`
+	}
+	if err := postJSON(base+"/routes/text/promote", ``, &promoted); err != nil {
+		return fmt.Errorf("/routes/text/promote: %w", err)
+	}
+	if promoted.Version != 4 {
+		return fmt.Errorf("promote produced version %d, want 4", promoted.Version)
+	}
+	if err := postJSON(base+"/predict", `{"text":"post promote"}`, &pred); err != nil {
+		return fmt.Errorf("predict after promote: %w", err)
+	}
+	log.Printf("canary: primary served %d, candidate %d, promoted to v4",
+		canary.Primary.Served, canary.Candidate.Served)
+
+	// Overload: a 64-way burst against the 8-record in-flight cap must
+	// shed with 429 + Retry-After (and nothing else may fail), and the
+	// route must serve normally right after.
+	log.Print("overload burst against admission control...")
+	var ok200, shed429, unexpected atomic.Int64
+	var burst sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		burst.Add(1)
+		go func() {
+			defer burst.Done()
+			resp, err := http.Post(base+"/predict", "application/json",
+				strings.NewReader(`{"text":"overload"}`))
+			if err != nil {
+				unexpected.Add(1)
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok200.Add(1)
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					unexpected.Add(1)
+					return
+				}
+				shed429.Add(1)
+			default:
+				unexpected.Add(1)
+			}
+		}()
+	}
+	burst.Wait()
+	if unexpected.Load() != 0 {
+		return fmt.Errorf("overload burst: %d unexpected outcomes (%d ok, %d shed)",
+			unexpected.Load(), ok200.Load(), shed429.Load())
+	}
+	if ok200.Load() == 0 || shed429.Load() == 0 {
+		return fmt.Errorf("overload burst: %d ok, %d shed; want both nonzero", ok200.Load(), shed429.Load())
+	}
+	if err := postJSON(base+"/predict", `{"text":"after the storm"}`, &pred); err != nil {
+		return fmt.Errorf("predict after overload: %w", err)
+	}
+	log.Printf("overload: %d served, %d shed with 429 + Retry-After", ok200.Load(), shed429.Load())
+
 	// Graceful drain: SIGTERM, clean exit.
 	log.Print("draining...")
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
@@ -240,16 +342,21 @@ func freePort() (int, error) {
 }
 
 // waitHealthy polls /healthz until the server answers, the process
-// exits, or the deadline passes.
+// exits, or the deadline passes. keyserve binds its port before
+// training, so each poll needs its own short timeout: the TCP connect
+// succeeds immediately while the HTTP response only arrives once
+// training finishes. A keyserve that dies during startup (port already
+// bound, training failure) surfaces here as a fast, clear error.
 func waitHealthy(base string, exited <-chan error, timeout time.Duration) error {
+	client := &http.Client{Timeout: 2 * time.Second}
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		select {
 		case err := <-exited:
-			return fmt.Errorf("keyserve exited during startup: %v", err)
+			return fmt.Errorf("keyserve exited during startup: %v (see its log above — a bound port fails fast there)", err)
 		default:
 		}
-		resp, err := http.Get(base + "/healthz")
+		resp, err := client.Get(base + "/healthz")
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {

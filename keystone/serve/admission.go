@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is returned when a route's admission control sheds a
+// request: the route is at its in-flight cap or its batcher queue is
+// past the high watermark. HTTP maps it to 429 Too Many Requests with a
+// Retry-After hint.
+var ErrOverloaded = errors.New("serve: route overloaded")
+
+// Admission caps how much concurrent work one route accepts. Under
+// overload a capped route sheds the excess immediately (429 with
+// Retry-After) instead of queueing it, which is what keeps the latency
+// of the requests it does serve near the service time: every shed
+// request is queueing delay the admitted requests never see.
+//
+// The two caps shed at different points. MaxInFlight bounds admitted
+// records (single predictions and batch records alike) before they
+// enqueue — a hard concurrency ceiling. MaxQueue is a high-watermark
+// shedder on the batcher's assembly queue: it trips when arrivals have
+// outpaced the pipeline long enough to back the queue up, which is the
+// earliest signal of sustained (rather than instantaneous) overload.
+type Admission struct {
+	// MaxInFlight caps records admitted and not yet answered
+	// (0 = unlimited). Size it near service_rate x tolerable_queueing:
+	// a route serving 500 rec/s with a 50ms latency budget wants ~25.
+	MaxInFlight int
+	// MaxQueue sheds single predictions while the live version's batcher
+	// has at least this many requests queued ahead of batch assembly
+	// (0 = unlimited). Batch requests bypass the batcher, so only
+	// MaxInFlight governs them.
+	MaxQueue int
+	// RetryAfter is the hint sent to shed clients (default 1s).
+	RetryAfter time.Duration
+}
+
+func (a Admission) withDefaults() Admission {
+	if a.RetryAfter <= 0 {
+		a.RetryAfter = time.Second
+	}
+	return a
+}
+
+// enabled reports whether any cap is configured.
+func (a Admission) enabled() bool { return a.MaxInFlight > 0 || a.MaxQueue > 0 }
+
+// WithAdmission attaches admission control to a route at Register time.
+func WithAdmission(a Admission) RouteOption {
+	return func(c *routeConfig) { c.admission = a }
+}
+
+// admitter is the per-route runtime state behind Admission: an in-flight
+// gauge and a shed counter. A nil admitter admits everything.
+type admitter struct {
+	cfg      Admission
+	inflight atomic.Int64
+	shed     atomic.Int64
+}
+
+func newAdmitter(cfg Admission) *admitter {
+	if !cfg.enabled() {
+		return nil
+	}
+	return &admitter{cfg: cfg.withDefaults()}
+}
+
+// acquire reserves n in-flight units, or sheds the request. Callers that
+// get true must release(n) when the request completes.
+func (a *admitter) acquire(n int64) bool {
+	if a == nil {
+		return true
+	}
+	if a.cfg.MaxInFlight > 0 && a.inflight.Add(n) > int64(a.cfg.MaxInFlight) {
+		a.inflight.Add(-n)
+		a.shed.Add(1)
+		return false
+	}
+	if a.cfg.MaxInFlight <= 0 {
+		a.inflight.Add(n)
+	}
+	return true
+}
+
+func (a *admitter) release(n int64) {
+	if a != nil {
+		a.inflight.Add(-n)
+	}
+}
+
+// queueFull applies the high-watermark shed against an observed batcher
+// queue depth; it records the shed when it trips.
+func (a *admitter) queueFull(depth int) bool {
+	if a == nil || a.cfg.MaxQueue <= 0 || depth < a.cfg.MaxQueue {
+		return false
+	}
+	a.shed.Add(1)
+	return true
+}
+
+// retryAfter is the Retry-After hint for shed responses.
+func (a *admitter) retryAfter() time.Duration {
+	if a == nil {
+		return time.Second
+	}
+	return a.cfg.RetryAfter
+}
+
+// Shed reports how many requests this route's admission control has
+// turned away since registration.
+func (a *admitter) Shed() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.shed.Load()
+}
+
+// InFlight reports the records currently admitted and unanswered.
+func (a *admitter) InFlight() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.inflight.Load()
+}

@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"keystoneml/keystone"
+)
+
+// TestAdmissionInFlightCap: with MaxInFlight n, request n+1 is shed
+// immediately with ErrOverloaded — it neither queues nor deadlocks —
+// and capacity freed by a finishing request is reusable.
+func TestAdmissionInFlightCap(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	p := keystone.Input[float64]()
+	// Only serving-time records (x >= 0) hold; the training record must
+	// pass through or Fit itself would block.
+	out := keystone.Then(p, keystone.NewOp("holding", func(x float64) []float64 {
+		if x >= 0 {
+			entered <- struct{}{}
+			<-release
+		}
+		return []float64{x}
+	}))
+	f, err := out.Fit(context.Background(), []float64{-1}, nil, keystone.WithOptimizerLevel(keystone.LevelNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer()
+	defer s.Close()
+	rt, err := Register(s, "m", f, JSONCodec[float64, []float64]{},
+		WithBatchLimits(1, 100*time.Microsecond),
+		WithAdmission(Admission{MaxInFlight: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := rt.Predict(context.Background(), float64(i)); err != nil {
+				t.Errorf("admitted request %d failed: %v", i, err)
+			}
+		}(i)
+	}
+	<-entered // at least one is executing, both hold in-flight units
+	waitFor(t, func() bool { return rt.adm.InFlight() == 2 })
+
+	if _, err := rt.Predict(context.Background(), 99); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("request over the cap = %v, want ErrOverloaded", err)
+	}
+	if got := rt.Shed(); got != 1 {
+		t.Fatalf("shed count = %d, want 1", got)
+	}
+
+	close(release)
+	wg.Wait()
+	waitFor(t, func() bool { return rt.adm.InFlight() == 0 })
+	if _, err := rt.Predict(context.Background(), 5); err != nil {
+		t.Fatalf("request after capacity freed = %v", err)
+	}
+}
+
+// TestAdmissionQueueWatermark429 floods a slow route whose batcher queue
+// is capped: some requests must be shed with ErrOverloaded, the rest
+// must complete, and nothing may deadlock. Exercised under -race by CI.
+func TestAdmissionQueueWatermark429(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	rt, err := Register(s, "slow", fitSlowMarker(t, 1, 3*time.Millisecond), JSONCodec[float64, []float64]{},
+		WithBatchLimits(1, 100*time.Microsecond),
+		WithAdmission(Admission{MaxQueue: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 16
+	var served, shed, other atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				_, err := rt.Predict(context.Background(), float64(c))
+				switch {
+				case err == nil:
+					served.Add(1)
+				case errors.Is(err, ErrOverloaded):
+					shed.Add(1)
+				default:
+					other.Add(1)
+					t.Errorf("unexpected error: %v", err)
+				}
+			}
+		}(c)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("flood deadlocked: queue-capped route never drained")
+	}
+	if other.Load() != 0 {
+		t.Fatalf("%d unexpected errors", other.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("no requests served under the watermark")
+	}
+	if shed.Load() == 0 {
+		t.Fatal("no requests shed: the watermark never tripped under a 16-client flood of a 3ms/record route")
+	}
+	if got := rt.Shed(); got != shed.Load() {
+		t.Fatalf("route shed counter %d != client-observed %d", got, shed.Load())
+	}
+	t.Logf("%d served, %d shed", served.Load(), shed.Load())
+}
+
+// TestAdmissionHTTP429 checks the wire contract: a shed request is a 429
+// with a Retry-After hint, and the stats surface reports the shed count.
+func TestAdmissionHTTP429(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	p := keystone.Input[string]()
+	// The training record passes straight through (Fit applies the op);
+	// only serving-time documents hold the slot.
+	out := keystone.Then(p, keystone.NewOp("holdtext", func(s string) []float64 {
+		if s != "train" {
+			entered <- struct{}{}
+			<-release
+		}
+		return []float64{1, 0}
+	}))
+	f, err := out.Fit(context.Background(), []string{"train"}, nil, keystone.WithOptimizerLevel(keystone.LevelNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer()
+	defer s.Close()
+	if _, err := Register(s, "text", f, TextCodec{},
+		WithBatchLimits(1, 100*time.Microsecond),
+		WithAdmission(Admission{MaxInFlight: 1, RetryAfter: 3 * time.Second})); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	reqDone := make(chan struct{})
+	go func() {
+		defer close(reqDone)
+		resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(`{"text":"hold"}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered // the in-flight slot is taken
+
+	resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(`{"text":"shed me"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed request status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", got)
+	}
+	close(release)
+	<-reqDone
+
+	st := s.RouteStats("text")
+	adm, ok := st["admission"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing admission block: %v", st)
+	}
+	if shed := adm["shed"].(int64); shed < 1 {
+		t.Fatalf("stats shed = %d, want >= 1", shed)
+	}
+}
+
+// TestAdmissionBatchUnits: a caller-assembled batch acquires one
+// in-flight unit per record, so a batch that alone exceeds MaxInFlight
+// is shed rather than admitted past the cap.
+func TestAdmissionBatchUnits(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	rt, err := Register(s, "m", fitFloatMarker(t, 1), JSONCodec[float64, []float64]{},
+		WithAdmission(Admission{MaxInFlight: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.PredictBatch(context.Background(), []float64{1, 2, 3}); err != nil {
+		t.Fatalf("batch within the cap = %v", err)
+	}
+	if _, err := rt.PredictBatch(context.Background(), []float64{1, 2, 3, 4, 5}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("batch over the cap = %v, want ErrOverloaded", err)
+	}
+}
+
+// waitFor polls cond for up to 2s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

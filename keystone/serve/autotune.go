@@ -24,6 +24,14 @@ type SLO struct {
 	// MinSamples is how many latency observations the window needs
 	// before a tuning step acts (default 16).
 	MinSamples int
+	// ThroughputFloor, when positive, makes the objective
+	// multi-objective: keep p95 under TargetP95 *without* letting the
+	// observed serving rate (records/sec) fall below this floor. With
+	// the floor violated the tuner stops collapsing the assembly window
+	// (which would trade away batching efficiency) and instead grows the
+	// batch to win throughput back — so admission-control shedding and
+	// window-shrinking pull in the same direction instead of fighting.
+	ThroughputFloor float64
 }
 
 func (s SLO) withDefaults() SLO {
@@ -63,6 +71,13 @@ func (s SLO) withDefaults() SLO {
 // Multiplicative decrease reacts within a few intervals to violations;
 // the slow increase converges the limits to the largest batching the SLO
 // admits, which is where per-request cost is lowest.
+//
+// With SLO.ThroughputFloor set the objective is two-dimensional: while
+// the observed rate sits below the floor the tuner refuses to shrink the
+// window multiplicatively (a collapsed window destroys the batching that
+// throughput depends on) and grows the batch instead whenever occupancy
+// shows real demand. The p95 target still wins when throughput is
+// healthy.
 type Tuner struct {
 	cfg SLO
 }
@@ -84,18 +99,33 @@ func (t *Tuner) Step(snap keystone.LatencySnapshot, curBatch int, curDelay time.
 		return curBatch, curDelay
 	}
 	batch, delay := curBatch, curDelay
+	starved := c.ThroughputFloor > 0 && snap.Throughput > 0 && snap.Throughput < c.ThroughputFloor
 	switch {
 	case snap.P95 > c.TargetP95:
-		if snap.MeanOccupancy >= 0.9 {
+		// One doubling per step at most: starvation lowers the occupancy
+		// bar for growth, it does not stack a second doubling on top.
+		if snap.MeanOccupancy >= 0.9 || (starved && snap.MeanOccupancy >= 0.5) {
 			batch = min(c.MaxBatch, batch*2)
 		}
-		delay = max(c.MinDelay, time.Duration(float64(delay)*0.6))
+		if starved {
+			// Throughput below floor: collapsing the window would shrink
+			// batches and lose more throughput — trim it only gently.
+			delay = max(c.MinDelay, time.Duration(float64(delay)*0.9))
+		} else {
+			delay = max(c.MinDelay, time.Duration(float64(delay)*0.6))
+		}
 	case snap.P95 < c.TargetP95*7/10:
 		delay = min(c.MaxDelay, time.Duration(float64(delay)*1.15)+50*time.Microsecond)
-		if snap.MeanOccupancy >= 0.75 {
+		if snap.MeanOccupancy >= 0.75 || (starved && snap.MeanOccupancy >= 0.5) {
 			batch = min(c.MaxBatch, batch+batch/4+1)
-		} else if snap.MeanOccupancy < 0.25 {
+		} else if snap.MeanOccupancy < 0.25 && !starved {
 			batch = max(c.MinBatch, batch*3/4)
+		}
+	default:
+		if starved && snap.MeanOccupancy >= 0.5 {
+			// Inside the p95 band but under the floor: win throughput back
+			// with a bigger batch; leave the window alone.
+			batch = min(c.MaxBatch, batch+batch/4+1)
 		}
 	}
 	return batch, delay

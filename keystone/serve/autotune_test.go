@@ -82,6 +82,76 @@ func TestTunerSpendsHeadroom(t *testing.T) {
 	}
 }
 
+// snapT is snap with an observed throughput, for the multi-objective
+// tests.
+func snapT(p95 time.Duration, occ float64, samples int, rps float64) keystone.LatencySnapshot {
+	s := snap(p95, occ, samples)
+	s.Throughput = rps
+	return s
+}
+
+// TestTunerThroughputFloorBlocksWindowCollapse: over the p95 target but
+// under the throughput floor, the tuner must not collapse the window the
+// way the single-objective policy does — it grows the batch to win the
+// throughput back and trims the window only gently.
+func TestTunerThroughputFloorBlocksWindowCollapse(t *testing.T) {
+	single := NewTuner(SLO{TargetP95: 10 * time.Millisecond})
+	multi := NewTuner(SLO{TargetP95: 10 * time.Millisecond, ThroughputFloor: 500})
+
+	over := snapT(25*time.Millisecond, 0.6, 64, 200) // p95 2.5x target, rate under floor
+	sBatch, sDelay := single.Step(over, 16, 20*time.Millisecond)
+	mBatch, mDelay := multi.Step(over, 16, 20*time.Millisecond)
+
+	if sDelay != 12*time.Millisecond { // 0.6x: the single-objective cut
+		t.Fatalf("single-objective delay = %v, want 12ms", sDelay)
+	}
+	if mDelay < 17*time.Millisecond { // 0.9x: only a gentle trim under the floor
+		t.Errorf("floor-violated delay = %v; the window collapsed despite throughput starvation", mDelay)
+	}
+	if mBatch <= sBatch {
+		t.Errorf("floor-violated batch = %d (single-objective %d); want batch growth to recover throughput", mBatch, sBatch)
+	}
+
+	// Starvation lowers the occupancy bar for the doubling; it must not
+	// stack a second doubling when occupancy alone already triggers one.
+	full := snapT(25*time.Millisecond, 0.95, 64, 200)
+	b, _ := multi.Step(full, 16, 20*time.Millisecond)
+	if b != 32 {
+		t.Errorf("starved + occupancy-full batch = %d after one step from 16, want a single doubling to 32", b)
+	}
+}
+
+// TestTunerFloorGrowsBatchInBand: inside the p95 band (no violation, no
+// big headroom) with throughput under the floor and real demand, the
+// tuner grows the batch without touching the window.
+func TestTunerFloorGrowsBatchInBand(t *testing.T) {
+	tuner := NewTuner(SLO{TargetP95: 10 * time.Millisecond, ThroughputFloor: 500})
+	inBand := snapT(9*time.Millisecond, 0.8, 64, 300)
+	batch, delay := tuner.Step(inBand, 16, 5*time.Millisecond)
+	if batch <= 16 {
+		t.Errorf("in-band starved batch = %d, want growth", batch)
+	}
+	if delay != 5*time.Millisecond {
+		t.Errorf("in-band starved delay = %v, want unchanged 5ms", delay)
+	}
+	// Same snapshot with a healthy rate: no action inside the band.
+	batch, delay = tuner.Step(snapT(9*time.Millisecond, 0.8, 64, 900), 16, 5*time.Millisecond)
+	if batch != 16 || delay != 5*time.Millisecond {
+		t.Errorf("in-band healthy step changed limits to (%d, %v)", batch, delay)
+	}
+}
+
+// TestTunerFloorKeepsNearEmptyBatches: the headroom regime normally
+// shrinks a near-empty batch limit, but under the floor that would give
+// up capacity — the tuner must hold it.
+func TestTunerFloorKeepsNearEmptyBatches(t *testing.T) {
+	tuner := NewTuner(SLO{TargetP95: 50 * time.Millisecond, ThroughputFloor: 500})
+	batch, _ := tuner.Step(snapT(2*time.Millisecond, 0.1, 64, 100), 32, time.Millisecond)
+	if batch != 32 {
+		t.Errorf("starved near-empty batch = %d, want held at 32", batch)
+	}
+}
+
 // TestTunerHoldsWithoutEvidence: below MinSamples the tuner must not act.
 func TestTunerHoldsWithoutEvidence(t *testing.T) {
 	tuner := NewTuner(SLO{TargetP95: 10 * time.Millisecond})

@@ -1,0 +1,496 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"keystoneml/keystone"
+)
+
+// fitSlowMarker is fitFloatMarker with a per-record service delay, for
+// degraded-candidate and overload scenarios.
+func fitSlowMarker(t testing.TB, mark float64, delay time.Duration) *keystone.Fitted[float64, []float64] {
+	t.Helper()
+	p := keystone.Input[float64]()
+	out := keystone.Then(p, keystone.NewOp(fmt.Sprintf("slow[%g]", mark), func(x float64) []float64 {
+		time.Sleep(delay)
+		return []float64{mark, x}
+	}))
+	f, err := out.Fit(context.Background(), []float64{1, 2}, nil,
+		keystone.WithOptimizerLevel(keystone.LevelNone))
+	if err != nil {
+		t.Fatalf("fit slow marker: %v", err)
+	}
+	return f
+}
+
+// TestCanaryFractionHonored drives concurrent traffic through a 25%
+// canary and checks the candidate's measured share lands within
+// tolerance — the deterministic splitter should be exact to ±1 request,
+// the tolerance only absorbs scheduling noise between pick and serve.
+func TestCanaryFractionHonored(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	rt, err := Register(s, "m", fitFloatMarker(t, 1), JSONCodec[float64, []float64]{},
+		WithBatchLimits(8, 200*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-canary traffic: CanaryStats must report same-window deltas, not
+	// the primary's whole history against the candidate's fresh counters.
+	const warmup = 37
+	for i := 0; i < warmup; i++ {
+		if _, err := rt.Predict(context.Background(), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const fraction = 0.25
+	ver, err := rt.Canary(context.Background(), fitFloatMarker(t, 2), fraction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 2 {
+		t.Fatalf("candidate version = %d, want 2", ver)
+	}
+
+	const total = 2000
+	var primary, candidate, failures atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < total/8; i++ {
+				out, err := rt.Predict(context.Background(), float64(i))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				switch out[0] {
+				case 1:
+					primary.Add(1)
+				case 2:
+					candidate.Add(1)
+				default:
+					t.Errorf("output from unknown artifact: %v", out)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d requests failed under the canary", failures.Load())
+	}
+	got := float64(candidate.Load()) / float64(total)
+	if got < fraction-0.05 || got > fraction+0.05 {
+		t.Fatalf("candidate share = %.3f (%d/%d), want %.2f ± 0.05", got, candidate.Load(), total, fraction)
+	}
+	stats, ok := rt.CanaryStats()
+	if !ok || stats.Mode != "canary" || stats.CandidateVersion != 2 {
+		t.Fatalf("CanaryStats = %+v, %v", stats, ok)
+	}
+	if stats.CandidateServed != candidate.Load() || stats.PrimaryServed != primary.Load() {
+		t.Fatalf("per-version served (%d, %d) != post-stage client counts (%d, %d) — warmup traffic must be excluded",
+			stats.PrimaryServed, stats.CandidateServed, primary.Load(), candidate.Load())
+	}
+	if err := rt.Abort(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("candidate share %.3f over %d requests", got, total)
+}
+
+// TestCanaryAbortLossless hammers a route while a canary is staged and
+// aborted: zero failures allowed, and after the abort all traffic is
+// back on the primary.
+func TestCanaryAbortLossless(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	rt, err := Register(s, "m", fitFloatMarker(t, 1), JSONCodec[float64, []float64]{},
+		WithBatchLimits(4, 200*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var requests, failures atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				if _, err := rt.Predict(context.Background(), float64(i)); err != nil {
+					failures.Add(1)
+					t.Errorf("request failed: %v", err)
+					return
+				}
+				requests.Add(1)
+			}
+		}()
+	}
+
+	for round := 0; round < 5; round++ {
+		if _, err := rt.Canary(context.Background(), fitFloatMarker(t, 2), 0.5); err != nil {
+			t.Fatalf("round %d canary: %v", round, err)
+		}
+		// Deploys and rollbacks must be refused while the canary runs.
+		if _, err := rt.Deploy(context.Background(), fitFloatMarker(t, 9)); !errors.Is(err, ErrCanaryActive) {
+			t.Fatalf("Deploy during canary = %v, want ErrCanaryActive", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+		if err := rt.Abort(context.Background()); err != nil {
+			t.Fatalf("round %d abort: %v", round, err)
+		}
+	}
+	time.Sleep(2 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d of %d requests failed across canary aborts", failures.Load(), requests.Load())
+	}
+	if live := rt.LiveVersion(); live != 1 {
+		t.Fatalf("live version after aborts = %d, want 1", live)
+	}
+	if out, err := rt.Predict(context.Background(), 3); err != nil || out[0] != 1 {
+		t.Fatalf("post-abort predict = %v, %v; want primary mark 1", out, err)
+	}
+}
+
+// TestCanaryPromote: promoting hands all traffic to the candidate and
+// the old primary drains; a later rollback restores the pre-canary
+// artifact (not the candidate, not an aborted one).
+func TestCanaryPromote(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	rt, err := Register(s, "m", fitFloatMarker(t, 1), JSONCodec[float64, []float64]{},
+		WithBatchLimits(4, 200*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Canary(context.Background(), fitFloatMarker(t, 2), 0.1); err != nil {
+		t.Fatal(err)
+	}
+	ver, err := rt.Promote(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 2 || rt.LiveVersion() != 2 {
+		t.Fatalf("promoted version = %d (live %d), want 2", ver, rt.LiveVersion())
+	}
+	for i := 0; i < 20; i++ {
+		out, err := rt.Predict(context.Background(), float64(i))
+		if err != nil || out[0] != 2 {
+			t.Fatalf("post-promote predict = %v, %v; want candidate mark 2", out, err)
+		}
+	}
+	// Rollback targets the version that held traffic before the promote.
+	ver, err = rt.Rollback(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, _ := rt.Predict(context.Background(), 0); out[0] != 1 {
+		t.Fatalf("post-rollback mark = %v, want 1 (version %d)", out[0], ver)
+	}
+}
+
+// TestRollbackSkipsAbortedCandidate: an aborted candidate sits in the
+// append-only history but must never become a rollback target.
+func TestRollbackSkipsAbortedCandidate(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	rt, err := Register(s, "m", fitFloatMarker(t, 1), JSONCodec[float64, []float64]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Canary(context.Background(), fitFloatMarker(t, 66), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Abort(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Deploy(context.Background(), fitFloatMarker(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Rollback(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := rt.Predict(context.Background(), 0)
+	if err != nil || out[0] != 1 {
+		t.Fatalf("rollback served mark %v, want 1 (the pre-deploy primary, not the aborted candidate)", out)
+	}
+}
+
+// TestCanaryValidation covers the lifecycle error surface.
+func TestCanaryValidation(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	rt, err := Register(s, "m", fitFloatMarker(t, 1), JSONCodec[float64, []float64]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := rt.Canary(ctx, fitFloatMarker(t, 2), 0); err == nil {
+		t.Error("fraction 0 accepted")
+	}
+	if _, err := rt.Canary(ctx, fitFloatMarker(t, 2), 1); err == nil {
+		t.Error("fraction 1 accepted")
+	}
+	if _, err := rt.Canary(ctx, nil, 0.5); err == nil {
+		t.Error("nil fitted accepted")
+	}
+	if _, err := rt.Promote(ctx); !errors.Is(err, ErrNoCanary) {
+		t.Errorf("Promote without canary = %v, want ErrNoCanary", err)
+	}
+	if err := rt.Abort(ctx); !errors.Is(err, ErrNoCanary) {
+		t.Errorf("Abort without canary = %v, want ErrNoCanary", err)
+	}
+	if _, err := rt.Canary(ctx, fitFloatMarker(t, 2), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Canary(ctx, fitFloatMarker(t, 3), 0.5); !errors.Is(err, ErrCanaryActive) {
+		t.Errorf("second canary = %v, want ErrCanaryActive", err)
+	}
+	if _, err := rt.Shadow(ctx, fitFloatMarker(t, 3)); !errors.Is(err, ErrCanaryActive) {
+		t.Errorf("shadow during canary = %v, want ErrCanaryActive", err)
+	}
+	if _, err := rt.Rollback(ctx); !errors.Is(err, ErrCanaryActive) {
+		t.Errorf("rollback during canary = %v, want ErrCanaryActive", err)
+	}
+}
+
+// TestShadowNonBlocking is the bounded-epsilon guarantee: with a shadow
+// candidate that takes ~300ms per record, primary requests must keep
+// completing at primary speed — mirroring may never block, queue behind,
+// or otherwise couple the candidate's latency into the live path.
+func TestShadowNonBlocking(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	// The short route timeout bounds each mirror's wait, so the abort
+	// below drains quickly even against the slow candidate.
+	rt, err := Register(s, "m", fitFloatMarker(t, 1), JSONCodec[float64, []float64]{},
+		WithBatchLimits(4, 100*time.Microsecond), WithTimeout(200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Shadow(context.Background(), fitSlowMarker(t, 2, 300*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+
+	// 40 sequential requests against a 300ms-per-record shadow: if any
+	// mirror coupling existed the run would take >12s; the primary path
+	// must stay in the low-millisecond range per request.
+	const reqs = 40
+	start := time.Now()
+	for i := 0; i < reqs; i++ {
+		t0 := time.Now()
+		out, err := rt.Predict(context.Background(), float64(i))
+		if err != nil || out[0] != 1 {
+			t.Fatalf("request %d = %v, %v; want primary mark 1", i, out, err)
+		}
+		if d := time.Since(t0); d > 100*time.Millisecond {
+			t.Fatalf("request %d took %v with a slow shadow staged — mirroring blocked the primary", i, d)
+		}
+	}
+	elapsed := time.Since(start)
+
+	stats, ok := rt.CanaryStats()
+	if !ok || stats.Mode != "shadow" {
+		t.Fatalf("CanaryStats = %+v, %v; want shadow mode", stats, ok)
+	}
+	// Every request was either mirrored (possibly still in flight) or
+	// dropped at the cap; none may have slowed the primary.
+	if stats.PrimaryServed != reqs {
+		t.Fatalf("primary served %d, want %d", stats.PrimaryServed, reqs)
+	}
+	if err := rt.Abort(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d primary requests in %v alongside a 300ms/record shadow (%d mirrors completed, %d dropped)",
+		reqs, elapsed, stats.CandidateServed, stats.ShadowDropped)
+}
+
+// TestShadowMirrorsTraffic: with a healthy candidate every request is
+// mirrored, responses stay primary-only, and the candidate's window
+// fills with real observations.
+func TestShadowMirrorsTraffic(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	rt, err := Register(s, "m", fitFloatMarker(t, 1), JSONCodec[float64, []float64]{},
+		WithBatchLimits(8, 100*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Shadow(context.Background(), fitFloatMarker(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	const reqs = 200
+	for i := 0; i < reqs; i++ {
+		out, err := rt.Predict(context.Background(), float64(i))
+		if err != nil || out[0] != 1 {
+			t.Fatalf("request %d = %v, %v; want primary mark 1", i, out, err)
+		}
+	}
+	// Mirrors are async; wait for them to drain (bounded).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stats, ok := rt.CanaryStats()
+		if !ok {
+			t.Fatal("shadow vanished")
+		}
+		if stats.CandidateServed+stats.ShadowDropped+stats.CandidateErrors >= reqs {
+			if stats.CandidateServed == 0 {
+				t.Fatalf("all %d mirrors dropped; want some served", reqs)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mirrors never drained: %+v", stats)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := rt.Abort(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCanaryHTTP drives the full canary lifecycle over the HTTP surface:
+// stage via refit, read the comparison, promote, and check conflicts map
+// to 409.
+func TestCanaryHTTP(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	rt, err := Register(s, "text", fitTextMarker(t, 1, 0), TextCodec{},
+		WithBatchLimits(4, 200*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refits atomic.Int64
+	rt.SetRefit(func(context.Context) (*keystone.Fitted[string, []float64], error) {
+		refits.Add(1)
+		return fitTextMarker(t, 0, 1), nil
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// No canary yet: GET is 404, promote/abort are 409.
+	if code := httpCode(t, http.MethodGet, ts.URL+"/routes/text/canary", ""); code != http.StatusNotFound {
+		t.Fatalf("GET canary with none staged = %d, want 404", code)
+	}
+	if code := httpCode(t, http.MethodPost, ts.URL+"/routes/text/promote", ""); code != http.StatusConflict {
+		t.Fatalf("promote with none staged = %d, want 409", code)
+	}
+
+	// A bad fraction is the caller's 400 and must be rejected before the
+	// (expensive) refit runs.
+	if code := httpCode(t, http.MethodPost, ts.URL+"/routes/text/canary", `{"fraction":1.5}`); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range fraction = %d, want 400", code)
+	}
+	// An explicit zero is out of range too — only an absent field
+	// defaults to 0.1.
+	if code := httpCode(t, http.MethodPost, ts.URL+"/routes/text/canary", `{"fraction":0}`); code != http.StatusBadRequest {
+		t.Fatalf("explicit zero fraction = %d, want 400", code)
+	}
+	if n := refits.Load(); n != 0 {
+		t.Fatalf("refit ran %d times for invalid fractions; validation must come first", n)
+	}
+
+	// Stage at 30% via the refitter.
+	resp, err := http.Post(ts.URL+"/routes/text/canary", "application/json", strings.NewReader(`{"fraction":0.3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var staged struct {
+		CandidateVersion int     `json:"candidate_version"`
+		Fraction         float64 `json:"fraction"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&staged); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || staged.CandidateVersion != 2 || staged.Fraction != 0.3 {
+		t.Fatalf("stage canary: code %d, %+v", resp.StatusCode, staged)
+	}
+
+	// Staging again conflicts.
+	if code := httpCode(t, http.MethodPost, ts.URL+"/routes/text/canary", `{"fraction":0.5}`); code != http.StatusConflict {
+		t.Fatalf("double stage = %d, want 409", code)
+	}
+	if code := httpCode(t, http.MethodPost, ts.URL+"/routes/text/deploy", ""); code != http.StatusConflict {
+		t.Fatalf("deploy during canary = %d, want 409", code)
+	}
+
+	// Drive traffic, then read the comparison.
+	for i := 0; i < 60; i++ {
+		if code := httpCode(t, http.MethodPost, ts.URL+"/predict", `{"text":"x"}`); code != http.StatusOK {
+			t.Fatalf("predict under canary = %d", code)
+		}
+	}
+	resp, err = http.Get(ts.URL + "/routes/text/canary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cmp struct {
+		Mode      string  `json:"mode"`
+		Fraction  float64 `json:"fraction"`
+		Primary   struct{ Served int64 }
+		Candidate struct{ Served int64 }
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cmp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cmp.Mode != "canary" || cmp.Primary.Served == 0 || cmp.Candidate.Served == 0 {
+		t.Fatalf("comparison = %+v; want traffic on both versions", cmp)
+	}
+
+	// Promote and verify the candidate's marker answers.
+	if code := httpCode(t, http.MethodPost, ts.URL+"/routes/text/promote", ""); code != http.StatusOK {
+		t.Fatalf("promote = %d", code)
+	}
+	resp, err = http.Post(ts.URL+"/predict", "application/json", strings.NewReader(`{"text":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred Prediction
+	if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pred.Class != 1 {
+		t.Fatalf("post-promote class = %d, want 1 (the candidate artifact)", pred.Class)
+	}
+
+	// Shadow endpoint, then abort it.
+	if code := httpCode(t, http.MethodPost, ts.URL+"/routes/text/shadow", ""); code != http.StatusOK {
+		t.Fatalf("shadow = %d", code)
+	}
+	if code := httpCode(t, http.MethodPost, ts.URL+"/routes/text/abort", ""); code != http.StatusOK {
+		t.Fatalf("abort = %d", code)
+	}
+}
+
+// httpCode issues a request with an optional JSON body and returns the
+// status code.
+func httpCode(t *testing.T, method, url, body string) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode
+}

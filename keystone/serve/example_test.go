@@ -78,3 +78,111 @@ func ExampleServer() {
 	// live version: 2
 	// post-swap scores: [0.9 0.1]
 }
+
+// ExampleWithSLO attaches a latency objective to a route: the autotuner
+// steers the batcher's (maxBatch, maxDelay) toward the p95 target, and
+// the throughput floor keeps it from trading the serving rate away to
+// get there.
+func ExampleWithSLO() {
+	srv := serve.NewServer()
+	defer srv.Close()
+
+	route, err := serve.Register(srv, "sentiment",
+		fitScorer([]float64{0.2, 0.8}),
+		serve.TextCodec{Labels: []string{"negative", "positive"}},
+		serve.WithBatchLimits(32, 5*time.Millisecond), // the tuner's starting point
+		serve.WithSLO(serve.SLO{
+			TargetP95:       20 * time.Millisecond,
+			ThroughputFloor: 500, // records/sec the tuner must preserve
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := route.Predict(context.Background(), "great product")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("scores:", out)
+	// Output: scores: [0.2 0.8]
+}
+
+// ExampleRoute_Canary stages a candidate version on 10% of live
+// traffic, watches the per-version comparison, and promotes it. The
+// deterministic splitter sends exactly every 10th request to the
+// candidate; Abort instead of Promote would drain and discard it with
+// the same zero-loss guarantee.
+func ExampleRoute_Canary() {
+	srv := serve.NewServer()
+	defer srv.Close()
+	route, err := serve.Register(srv, "sentiment",
+		fitScorer([]float64{0.2, 0.8}),
+		serve.TextCodec{Labels: []string{"negative", "positive"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	candidate := fitScorer([]float64{0.1, 0.9})
+	ver, err := route.Canary(context.Background(), candidate, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("candidate version:", ver)
+
+	for i := 0; i < 20; i++ {
+		if _, err := route.Predict(context.Background(), "doc"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	stats, _ := route.CanaryStats()
+	fmt.Printf("primary served %d, candidate served %d\n", stats.PrimaryServed, stats.CandidateServed)
+
+	promoted, err := route.Promote(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("promoted version:", promoted)
+	// Output:
+	// candidate version: 2
+	// primary served 18, candidate served 2
+	// promoted version: 2
+}
+
+// ExampleRoute_Shadow mirrors live traffic to a candidate whose
+// responses are discarded: the primary keeps answering every request
+// while the candidate's latency and error counters fill with real
+// traffic — a zero-risk rehearsal before a canary or deploy.
+func ExampleRoute_Shadow() {
+	srv := serve.NewServer()
+	defer srv.Close()
+	route, err := serve.Register(srv, "sentiment",
+		fitScorer([]float64{0.2, 0.8}),
+		serve.TextCodec{Labels: []string{"negative", "positive"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := route.Shadow(context.Background(), fitScorer([]float64{0.5, 0.5})); err != nil {
+		log.Fatal(err)
+	}
+	const reqs = 10
+	for i := 0; i < reqs; i++ {
+		out, err := route.Predict(context.Background(), "doc")
+		if err != nil || out[1] != 0.8 {
+			log.Fatalf("response %v, %v not from the primary", out, err)
+		}
+	}
+	// Mirrors run asynchronously; wait for them to finish observing.
+	for {
+		stats, _ := route.CanaryStats()
+		if stats.CandidateServed+stats.ShadowDropped+stats.CandidateErrors >= reqs {
+			fmt.Printf("mirrored %d, dropped %d, primary answered all %d\n",
+				stats.CandidateServed, stats.ShadowDropped, stats.PrimaryServed)
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := route.Abort(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	// Output: mirrored 10, dropped 0, primary answered all 10
+}

@@ -26,10 +26,11 @@ var routeNameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9_-]*$`)
 type RouteOption func(*routeConfig)
 
 type routeConfig struct {
-	maxBatch int
-	maxDelay time.Duration
-	timeout  time.Duration
-	slo      SLO
+	maxBatch  int
+	maxDelay  time.Duration
+	timeout   time.Duration
+	slo       SLO
+	admission Admission
 }
 
 // WithBatchLimits sets the route's initial micro-batching limits
@@ -77,9 +78,17 @@ type Route[I, O any] struct {
 	tunedBatch atomic.Int64
 	tunedDelay atomic.Int64
 
-	mu     sync.Mutex // serializes Deploy / Rollback / closeRoute
-	closed bool
-	cur    atomic.Pointer[version[I, O]]
+	mu         sync.Mutex // serializes Deploy / Rollback / Canary / Shadow / Promote / Abort / closeRoute
+	closed     bool
+	prevLiveID int // last version that held live traffic before cur (0 = none); guarded by mu
+	cur        atomic.Pointer[version[I, O]]
+
+	// canary holds the staged canary/shadow candidate (nil = none); the
+	// request path reads it lock-free.
+	canary atomic.Pointer[canaryState[I, O]]
+
+	// adm is the route's admission control (nil admits everything).
+	adm *admitter
 
 	histMu sync.RWMutex
 	vers   []*version[I, O]
@@ -110,6 +119,7 @@ func Register[I, O any](s *Server, name string, fitted *keystone.Fitted[I, O], c
 		name:    name,
 		codec:   codec,
 		timeout: cfg.timeout,
+		adm:     newAdmitter(cfg.admission),
 	}
 	batch, delay := cfg.maxBatch, cfg.maxDelay
 	if cfg.slo.TargetP95 > 0 {
@@ -216,6 +226,13 @@ func (rt *Route[I, O]) tuneLoop() {
 				v.batcher.SetLimits(newB, newD)
 				rt.tunedBatch.Store(int64(newB))
 				rt.tunedDelay.Store(int64(newD))
+				// A staged candidate must track the same limits, or the
+				// canary/shadow p95 comparison would measure assembly-window
+				// skew instead of the artifacts. (SetLimits on a batcher a
+				// concurrent Abort just closed is harmless — atomics only.)
+				if st := rt.canary.Load(); st != nil {
+					st.cand.batcher.SetLimits(newB, newD)
+				}
 			}
 		}
 	}
@@ -239,7 +256,7 @@ func (rt *Route[I, O]) handlePredict(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	out, ver, err := rt.predict(ctx, rec)
 	if err != nil {
-		httpError(w, statusOf(err), err.Error())
+		rt.predictError(w, err)
 		return
 	}
 	w.Header().Set("X-Keystone-Version", fmt.Sprint(ver))
@@ -260,7 +277,7 @@ func (rt *Route[I, O]) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	outs, ver, err := rt.predictBatch(ctx, recs)
 	if err != nil {
-		httpError(w, statusOf(err), err.Error())
+		rt.predictError(w, err)
 		return
 	}
 	results := make([]any, len(outs))
@@ -269,6 +286,16 @@ func (rt *Route[I, O]) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("X-Keystone-Version", fmt.Sprint(ver))
 	writeJSON(w, map[string]any{"results": results})
+}
+
+// predictError renders a failed prediction, attaching the Retry-After
+// hint when admission control shed the request.
+func (rt *Route[I, O]) predictError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrOverloaded) {
+		secs := int64((rt.adm.retryAfter() + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+	}
+	httpError(w, statusOf(err), err.Error())
 }
 
 func (rt *Route[I, O]) handleDeploy(w http.ResponseWriter, r *http.Request) {
@@ -286,7 +313,7 @@ func (rt *Route[I, O]) handleDeploy(w http.ResponseWriter, r *http.Request) {
 	}
 	ver, err := rt.Deploy(r.Context(), fitted)
 	if err != nil {
-		httpError(w, statusOf(err), err.Error())
+		httpError(w, stageStatusOf(err), err.Error())
 		return
 	}
 	writeJSON(w, map[string]any{"route": rt.name, "version": ver})
@@ -322,6 +349,7 @@ func (rt *Route[I, O]) versionsValue() []map[string]any {
 			"deployed_at": v.deployed.UTC().Format(time.RFC3339Nano),
 			"live":        v.id == live,
 			"served":      v.served.Load(),
+			"errors":      v.errs.Load(),
 		}
 	}
 	return out
@@ -355,11 +383,32 @@ func (rt *Route[I, O]) statsValue() map[string]any {
 	out["latency_p95_ms"] = durMS(snap.P95)
 	out["window_samples"] = snap.Samples
 	out["mean_occupancy"] = snap.MeanOccupancy
+	out["throughput_rps"] = snap.Throughput
+	out["queue_depth"] = v.batcher.QueueDepth()
 	if rt.tuner != nil {
-		out["slo_target_p95_ms"] = durMS(rt.tuner.Config().TargetP95)
+		cfg := rt.tuner.Config()
+		out["slo_target_p95_ms"] = durMS(cfg.TargetP95)
+		if cfg.ThroughputFloor > 0 {
+			out["slo_throughput_floor_rps"] = cfg.ThroughputFloor
+		}
+	}
+	if rt.adm != nil {
+		out["admission"] = map[string]any{
+			"max_in_flight": rt.adm.cfg.MaxInFlight,
+			"max_queue":     rt.adm.cfg.MaxQueue,
+			"in_flight":     rt.adm.InFlight(),
+			"shed":          rt.adm.Shed(),
+		}
+	}
+	if cs, ok := rt.CanaryStats(); ok {
+		out["canary"] = canaryStatsValue(cs)
 	}
 	return out
 }
+
+// Shed reports how many requests admission control has turned away on
+// this route (0 without admission control).
+func (rt *Route[I, O]) Shed() int64 { return rt.adm.Shed() }
 
 func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 

@@ -3,16 +3,24 @@
 // speech and vision routes simultaneously, each with its own JSON codec,
 // micro-batcher and stats), versioned zero-downtime hot-swap
 // (Deploy/Rollback switch a route's artifact atomically while in-flight
-// batches drain), and an SLO-driven autotuner that retargets each
-// route's (maxBatch, maxDelay) online against a p95 latency objective.
+// batches drain), canary and shadow rollout between versions
+// (Canary/Shadow stage a candidate behind the live version; Promote and
+// Abort resolve it losslessly), per-route admission control
+// (WithAdmission caps in-flight work and sheds overload as 429 with
+// Retry-After), and an SLO-driven autotuner that retargets each route's
+// (maxBatch, maxDelay) online against a p95 latency objective with an
+// optional throughput floor.
 //
 //	srv := serve.NewServer()
 //	route, _ := serve.Register(srv, "sentiment", fitted,
 //	        serve.TextCodec{Labels: []string{"negative", "positive"}},
-//	        serve.WithSLO(serve.SLO{TargetP95: 20 * time.Millisecond}))
+//	        serve.WithSLO(serve.SLO{TargetP95: 20 * time.Millisecond}),
+//	        serve.WithAdmission(serve.Admission{MaxInFlight: 256}))
 //	go http.ListenAndServe(":8080", srv)
 //	...
-//	route.Deploy(ctx, refitted) // zero-downtime hot-swap
+//	route.Canary(ctx, candidate, 0.1) // 10% of traffic on the candidate
+//	// watch route.CanaryStats(), then:
+//	route.Promote(ctx)                // or route.Abort(ctx)
 //
 // HTTP surface:
 //
@@ -21,10 +29,15 @@
 //	POST /routes/{name}/predict        per-route single record
 //	POST /routes/{name}/predict/batch  per-route batch
 //	GET  /routes                       route listing
-//	GET  /routes/{name}/stats          batcher + latency + limit stats
-//	GET  /routes/{name}/versions       version history (live flag, served counts)
+//	GET  /routes/{name}/stats          batcher + latency + limit + admission stats
+//	GET  /routes/{name}/versions       version history (live flag, served/error counts)
 //	POST /routes/{name}/deploy         refit (SetRefit) + hot-swap
-//	POST /routes/{name}/rollback       redeploy the previous artifact
+//	POST /routes/{name}/rollback       redeploy the previously live artifact
+//	POST /routes/{name}/canary         refit + stage a canary ({"fraction": 0.1})
+//	GET  /routes/{name}/canary         live candidate-vs-primary comparison
+//	POST /routes/{name}/shadow         refit + stage a shadow candidate
+//	POST /routes/{name}/promote        candidate takes all traffic
+//	POST /routes/{name}/abort          candidate drains and is discarded
 //	GET  /stats                        all routes
 //	GET  /healthz                      liveness
 package serve
@@ -49,6 +62,10 @@ type handler interface {
 	handleBatch(w http.ResponseWriter, r *http.Request)
 	handleDeploy(w http.ResponseWriter, r *http.Request)
 	handleRollback(w http.ResponseWriter, r *http.Request)
+	handleCanary(w http.ResponseWriter, r *http.Request)
+	handleShadow(w http.ResponseWriter, r *http.Request)
+	handlePromote(w http.ResponseWriter, r *http.Request)
+	handleAbort(w http.ResponseWriter, r *http.Request)
 	versionsValue() []map[string]any
 	statsValue() map[string]any
 	closeRoute()
@@ -189,6 +206,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			h.handleRollback(w, r)
+		case "canary":
+			h.handleCanary(w, r) // GET = stats, POST = stage
+		case "shadow":
+			if !requirePost(w, r) {
+				return
+			}
+			h.handleShadow(w, r)
+		case "promote":
+			if !requirePost(w, r) {
+				return
+			}
+			h.handlePromote(w, r)
+		case "abort":
+			if !requirePost(w, r) {
+				return
+			}
+			h.handleAbort(w, r)
 		case "versions":
 			writeJSON(w, map[string]any{"route": h.routeName(), "versions": h.versionsValue()})
 		case "stats", "":
@@ -253,6 +287,8 @@ func statusOf(err error) int {
 		return 499 // client closed request
 	case errors.Is(err, ErrRouteClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusInternalServerError
 	}

@@ -35,6 +35,7 @@ type version[I, O any] struct {
 	batcher  *keystone.Batcher[I, O]
 	deployed time.Time
 	served   atomic.Int64
+	errs     atomic.Int64 // failed records attributed to this version
 
 	gate drainGate
 }
@@ -59,6 +60,9 @@ func (rt *Route[I, O]) Deploy(ctx context.Context, fitted *keystone.Fitted[I, O]
 	if rt.closed {
 		return 0, ErrRouteClosed
 	}
+	if rt.canary.Load() != nil {
+		return 0, ErrCanaryActive
+	}
 	return rt.deployLocked(fitted, "deploy"), nil
 }
 
@@ -76,12 +80,17 @@ func (rt *Route[I, O]) Rollback(ctx context.Context) (int, error) {
 	if rt.closed {
 		return 0, ErrRouteClosed
 	}
-	cur := rt.cur.Load()
-	if cur == nil || cur.id < 2 {
+	if rt.canary.Load() != nil {
+		return 0, ErrCanaryActive
+	}
+	// prevLiveID tracks the last version that actually held traffic, not
+	// merely the previous history entry — aborted canary candidates sit
+	// in the history too and must never be a rollback target.
+	if rt.prevLiveID == 0 {
 		return 0, fmt.Errorf("serve: route %q has no previous version to roll back to", rt.name)
 	}
 	rt.histMu.RLock()
-	prev := rt.vers[cur.id-2]
+	prev := rt.vers[rt.prevLiveID-1]
 	rt.histMu.RUnlock()
 	return rt.deployLocked(prev.fitted, fmt.Sprintf("rollback to v%d", prev.id)), nil
 }
@@ -116,6 +125,7 @@ func (rt *Route[I, O]) deployLocked(fitted *keystone.Fitted[I, O], note string) 
 
 	old := rt.cur.Swap(v)
 	if old != nil {
+		rt.prevLiveID = old.id
 		old.gate.retire()
 		old.batcher.Close()
 	}
@@ -151,31 +161,85 @@ func (g *drainGate) retire() {
 }
 
 // predict serves one record from whatever version is live, retrying
-// across a concurrent swap; it reports the version that served.
+// across a concurrent swap; it reports the version that served. With a
+// canary staged, the deterministic splitter sends the configured
+// fraction of requests to the candidate (falling back to the primary if
+// the candidate retires mid-flight); with a shadow staged, the record is
+// additionally mirrored to the candidate without waiting on it.
 func (rt *Route[I, O]) predict(ctx context.Context, rec I) (O, int, error) {
 	var zero O
+	if !rt.adm.acquire(1) {
+		return zero, 0, ErrOverloaded
+	}
+	defer rt.adm.release(1)
+	tryCanary := true
 	for {
 		v := rt.cur.Load()
 		if v == nil {
 			return zero, 0, ErrRouteClosed
 		}
+		var st *canaryState[I, O]
+		if s := rt.canary.Load(); s != nil {
+			switch s.mode {
+			case modeShadow:
+				st = s // mirror after the primary pick succeeds
+			case modeCanary:
+				if tryCanary && s.pickCandidate() {
+					// One candidate attempt per request: if the candidate
+					// retires before we pin it (concurrent Abort/Promote),
+					// fall through to the primary rather than re-rolling.
+					tryCanary = false
+					if s.cand.gate.enter() {
+						v = s.cand
+						if rt.adm.queueFull(v.batcher.QueueDepth()) {
+							v.gate.leave()
+							return zero, 0, ErrOverloaded
+						}
+						out, err := rt.servePinned(ctx, v, rec)
+						return out, v.id, err
+					}
+					continue
+				}
+			}
+		}
 		if !v.gate.enter() {
 			continue // swapped out under us; retry on the successor
 		}
-		out, err := v.batcher.Predict(ctx, rec)
-		if err == nil {
-			rt.served.Add(1)
-			v.served.Add(1)
+		if rt.adm.queueFull(v.batcher.QueueDepth()) {
+			v.gate.leave()
+			return zero, 0, ErrOverloaded
 		}
-		id := v.id
-		v.gate.leave()
-		return out, id, err
+		if st != nil {
+			rt.mirror(st, rec)
+		}
+		out, err := rt.servePinned(ctx, v, rec)
+		return out, v.id, err
 	}
+}
+
+// servePinned runs one record through a version whose gate the caller
+// already holds, keeping the per-version counters; it releases the gate.
+func (rt *Route[I, O]) servePinned(ctx context.Context, v *version[I, O], rec I) (O, error) {
+	defer v.gate.leave()
+	out, err := v.batcher.Predict(ctx, rec)
+	if err == nil {
+		rt.served.Add(1)
+		v.served.Add(1)
+	} else {
+		v.errs.Add(1)
+	}
+	return out, err
 }
 
 // predictBatch serves a caller-assembled batch on the live version's
 // direct batch path (no micro-batching — the caller already batched).
+// Batches always ride the primary: one batch is one caller-visible unit,
+// so it is never split across a canary boundary.
 func (rt *Route[I, O]) predictBatch(ctx context.Context, recs []I) ([]O, int, error) {
+	if !rt.adm.acquire(int64(len(recs))) {
+		return nil, 0, ErrOverloaded
+	}
+	defer rt.adm.release(int64(len(recs)))
 	for {
 		v := rt.cur.Load()
 		if v == nil {
@@ -188,6 +252,11 @@ func (rt *Route[I, O]) predictBatch(ctx context.Context, recs []I) ([]O, int, er
 		if err == nil {
 			rt.served.Add(int64(len(recs)))
 			v.served.Add(int64(len(recs)))
+		} else {
+			// Counters are in records on both sides: a failed batch failed
+			// every record in it, or error rates would understate batch
+			// failures by the batch size.
+			v.errs.Add(int64(len(recs)))
 		}
 		id := v.id
 		v.gate.leave()
@@ -206,6 +275,10 @@ func (rt *Route[I, O]) closeRoute() {
 	rt.closed = true
 	if rt.tunerStop != nil {
 		close(rt.tunerStop)
+	}
+	if st := rt.canary.Swap(nil); st != nil {
+		st.cand.gate.retire()
+		st.cand.batcher.Close()
 	}
 	old := rt.cur.Swap(nil)
 	if old != nil {

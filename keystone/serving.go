@@ -110,6 +110,12 @@ func (b *Batcher[I, O]) Limits() (int, time.Duration) {
 	return int(b.maxBatch.Load()), time.Duration(b.maxDelay.Load())
 }
 
+// QueueDepth reports how many requests are queued ahead of batch
+// assembly right now. It is the signal a high-watermark load shedder
+// reads: a persistently deep queue means arrivals outpace the pipeline,
+// and every queued request is latency some caller is already paying.
+func (b *Batcher[I, O]) QueueDepth() int { return len(b.reqs) }
+
 // Predict runs one record through the pipeline, transparently sharing a
 // batch with concurrent callers. It honors ctx while queued; once its
 // batch starts executing the result is computed regardless (and discarded
@@ -172,6 +178,10 @@ type LatencySnapshot struct {
 	P95           time.Duration // 95th-percentile request latency
 	Batches       int           // occupancy observations in the window
 	MeanOccupancy float64       // mean batch fill fraction vs maxBatch
+	// Throughput is the observed serving rate in records/sec over the
+	// window's wall-clock span (0 until two observations exist). The
+	// multi-objective tuner reads it to enforce a throughput floor.
+	Throughput float64
 }
 
 // Latency computes quantiles over the sliding window. O(window log window).
@@ -276,16 +286,19 @@ func (b *Batcher[I, O]) fail(batch []batchReq[I, O]) {
 // latWindow is a mutex-guarded pair of fixed rings: per-request latencies
 // and per-batch occupancy fractions. Overwrites oldest first.
 type latWindow struct {
-	mu   sync.Mutex
-	lats [latWindowSize]time.Duration
-	occs [latWindowSize]float64
-	nLat int // total latency observations ever
-	nOcc int // total occupancy observations ever
+	mu    sync.Mutex
+	lats  [latWindowSize]time.Duration
+	whens [latWindowSize]time.Time // observation times, for Throughput
+	occs  [latWindowSize]float64
+	nLat  int // total latency observations ever
+	nOcc  int // total occupancy observations ever
 }
 
 func (w *latWindow) observeLatency(d time.Duration) {
+	now := time.Now()
 	w.mu.Lock()
 	w.lats[w.nLat%latWindowSize] = d
+	w.whens[w.nLat%latWindowSize] = now
 	w.nLat++
 	w.mu.Unlock()
 }
@@ -307,6 +320,17 @@ func (w *latWindow) snapshot() LatencySnapshot {
 	for _, f := range w.occs[:no] {
 		occSum += f
 	}
+	var span time.Duration
+	if nl >= 2 {
+		// Newest observation is slot (nLat-1)%size; the oldest retained
+		// is slot nLat%size once the ring has wrapped, else slot 0.
+		newest := w.whens[(w.nLat-1)%latWindowSize]
+		oldest := w.whens[0]
+		if w.nLat > latWindowSize {
+			oldest = w.whens[w.nLat%latWindowSize]
+		}
+		span = newest.Sub(oldest)
+	}
 	w.mu.Unlock()
 
 	snap := LatencySnapshot{Samples: nl, Batches: no}
@@ -317,6 +341,9 @@ func (w *latWindow) snapshot() LatencySnapshot {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		snap.P50 = lats[nl/2]
 		snap.P95 = lats[(nl*95)/100]
+	}
+	if span > 0 {
+		snap.Throughput = float64(nl-1) / span.Seconds()
 	}
 	return snap
 }

@@ -333,3 +333,50 @@ func TestBatcherCallerCancel(t *testing.T) {
 		t.Fatalf("want DeadlineExceeded, got %v", err)
 	}
 }
+
+// TestBatcherQueueDepthAndThroughput: QueueDepth reflects requests
+// queued ahead of assembly, and the latency window reports a positive
+// serving rate once traffic flows — the two signals admission control
+// and the multi-objective tuner consume.
+func TestBatcherQueueDepthAndThroughput(t *testing.T) {
+	slow := Then(Input[int](), NewOp("sleepy", func(x int) []float64 {
+		time.Sleep(2 * time.Millisecond)
+		return []float64{float64(x)}
+	}))
+	f, err := slow.Fit(context.Background(), []int{1}, nil, WithOptimizerLevel(LevelNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(f, 1, 100*time.Microsecond)
+	defer b.Close()
+
+	if d := b.QueueDepth(); d != 0 {
+		t.Fatalf("idle QueueDepth = %d, want 0", d)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.Predict(context.Background(), i); err != nil {
+				t.Errorf("predict %d: %v", i, err)
+			}
+		}(i)
+	}
+	// With 1-record batches at 2ms each and 32 concurrent callers, the
+	// queue must be observably non-empty at some point.
+	deepSeen := false
+	for i := 0; i < 200 && !deepSeen; i++ {
+		if b.QueueDepth() > 0 {
+			deepSeen = true
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	wg.Wait()
+	if !deepSeen {
+		t.Error("QueueDepth never observed a queued request under a 32-caller flood")
+	}
+	if snap := b.Latency(); snap.Throughput <= 0 {
+		t.Errorf("window Throughput = %v after 32 served requests, want > 0", snap.Throughput)
+	}
+}
