@@ -38,7 +38,7 @@ staticcheck:
 docs-check: vet
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then echo "gofmt -l flags:"; echo "$$out"; exit 1; fi
-	$(GO) run ./cmd/doccheck keystone keystone/serve
+	$(GO) run ./cmd/doccheck keystone keystone/serve keystone/registry
 
 # A short benchmark pass at Quick scale: compiles every benchmark and
 # runs each once, catching bit-rot without CI-hostile runtimes.

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"keystoneml/keystone"
+	"keystoneml/keystone/registry"
 	"keystoneml/keystone/serve"
 )
 
@@ -60,6 +61,10 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 0, "admission control: per-route cap on in-flight records; overload sheds 429 (0 = unlimited)")
 		maxQueue    = flag.Int("max-queue", 0, "admission control: shed single predictions while the batcher queue is this deep (0 = unlimited)")
 		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
+
+		registryDir = flag.String("registry", "", "artifact registry directory; binds routes to it so deployed versions persist and rollback survives restarts")
+		artifactRef = flag.String("artifact", "", "text: boot from a saved artifact instead of training (a registry tag/id/prefix with -registry, else a file path)")
+		savePath    = flag.String("save", "", "text: save the startup-trained artifact to this file (keystone.Save format)")
 
 		trainDocs = flag.Int("train-docs", 2000, "text: synthetic training corpus size")
 		features  = flag.Int("features", 5000, "text: vocabulary size")
@@ -104,6 +109,14 @@ func main() {
 			RetryAfter:  *retryAfter,
 		}))
 	}
+	var store *registry.Registry
+	if *registryDir != "" {
+		var err error
+		if store, err = registry.Open(*registryDir); err != nil {
+			log.Fatalf("open registry: %v", err)
+		}
+		opts = append(opts, serve.WithArtifactStore(store))
+	}
 
 	for _, name := range strings.Split(*routes, ",") {
 		var err error
@@ -116,6 +129,7 @@ func main() {
 			err = registerText(ctx, srv, textParams{
 				docs: *trainDocs, features: *features, iters: *iters,
 				labels: labelList, workers: *workers,
+				artifact: *artifactRef, save: *savePath, store: store,
 			}, opts)
 		case "vision":
 			err = registerVision(ctx, srv, visionParams{
@@ -171,12 +185,18 @@ func main() {
 type textParams struct {
 	docs, features, iters, workers int
 	labels                         []string
+	artifact, save                 string
+	store                          *registry.Registry
 }
 
-// registerText trains the paper's Figure 2 text-classification pipeline
-// on the synthetic review corpus and registers it; the refitter retrains
-// on a fresh corpus per deploy, so POST /routes/text/deploy exercises a
-// real hot-swap.
+// registerText registers the paper's Figure 2 text-classification
+// pipeline. Normally it trains on the synthetic review corpus at
+// startup; with -artifact it instead loads a saved fitted artifact —
+// from the registry (tag/id/prefix) when one is bound, else from a file
+// — which turns a multi-second training cold start into a
+// millisecond-scale decode. The refitter retrains on a fresh corpus per
+// deploy either way, so POST /routes/text/deploy exercises a real
+// hot-swap.
 func registerText(ctx context.Context, srv *serve.Server, p textParams, opts []serve.RouteOption) error {
 	var seed atomic.Uint64
 	seed.Store(1)
@@ -194,13 +214,42 @@ func registerText(ctx context.Context, srv *serve.Server, p textParams, opts []s
 		log.Printf("[text] trained in %v", time.Since(start).Round(time.Millisecond))
 		return fitted, nil
 	}
-	fitted, err := train(ctx)
-	if err != nil {
-		return err
-	}
-	route, err := serve.Register(srv, "text", fitted, serve.TextCodec{Labels: p.labels}, opts...)
-	if err != nil {
-		return err
+	codec := serve.TextCodec{Labels: p.labels}
+
+	var route *serve.Route[string, []float64]
+	switch {
+	case p.artifact != "" && p.store != nil:
+		start := time.Now()
+		var err error
+		route, err = serve.RegisterArtifact(srv, "text", p.store, p.artifact, codec, opts...)
+		if err != nil {
+			return err
+		}
+		log.Printf("[text] loaded artifact %q from registry in %v", p.artifact, time.Since(start).Round(time.Microsecond))
+	case p.artifact != "":
+		start := time.Now()
+		fitted, err := keystone.Load[string, []float64](p.artifact, keystone.WithWorkers(p.workers))
+		if err != nil {
+			return err
+		}
+		if route, err = serve.Register(srv, "text", fitted, codec, opts...); err != nil {
+			return err
+		}
+		log.Printf("[text] loaded artifact %s in %v", p.artifact, time.Since(start).Round(time.Microsecond))
+	default:
+		fitted, err := train(ctx)
+		if err != nil {
+			return err
+		}
+		if p.save != "" {
+			if err := keystone.Save(fitted, p.save); err != nil {
+				return fmt.Errorf("save artifact: %w", err)
+			}
+			log.Printf("[text] saved artifact to %s", p.save)
+		}
+		if route, err = serve.Register(srv, "text", fitted, codec, opts...); err != nil {
+			return err
+		}
 	}
 	route.SetRefit(train)
 	return nil

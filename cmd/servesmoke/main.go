@@ -5,16 +5,24 @@
 // concurrent load, rollback, a canary rollout (stage at 50%, observe
 // both versions serving, promote), an overload burst that must shed
 // with 429 + Retry-After, /versions and /stats, then shuts the server
-// down gracefully and verifies a clean exit. Pure Go — no curl
-// dependency — so it runs identically in CI and locally. Any failure
-// (including keyserve dying at startup, e.g. its port already bound)
-// exits non-zero immediately, which `make serve-smoke` propagates.
+// down gracefully and verifies a clean exit. The first boot runs with
+// an artifact registry bound and -save set, so after the drain the
+// smoke test also proves the persistence story: it loads the saved
+// artifact file in-process, reboots keyserve from the registry's
+// text.live tag with a 100ms cold-start budget (load + first
+// successful predict — no training), rolls back across the restart via
+// the registry's text.previous tag, and deploys by artifact id over
+// HTTP. Pure Go — no curl dependency — so it runs identically in CI
+// and locally. Any failure (including keyserve dying at startup, e.g.
+// its port already bound) exits non-zero immediately, which `make
+// serve-smoke` propagates.
 //
 //	go run ./cmd/servesmoke
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -29,6 +37,8 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"keystoneml/keystone"
 )
 
 func main() {
@@ -61,8 +71,12 @@ func run() error {
 	}
 	base := fmt.Sprintf("http://127.0.0.1:%d", port)
 
+	regDir := filepath.Join(tmp, "registry")
+	artPath := filepath.Join(tmp, "text.ksart")
+
 	// Small training sizes keep the boot under a few seconds; the
-	// autotuner flag proves the SLO path boots.
+	// autotuner flag proves the SLO path boots. The registry + save
+	// flags make every deployed version durable for the restart leg.
 	cmd := exec.Command(bin,
 		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
 		"-routes", "text,vision",
@@ -72,6 +86,7 @@ func run() error {
 		// Admission: ample for the functional legs (≤5 concurrent
 		// records), tripped deliberately by the 64-way overload burst.
 		"-max-inflight", "8", "-retry-after", "2s",
+		"-registry", regDir, "-save", artPath,
 	)
 	cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
 	if err := cmd.Start(); err != nil {
@@ -329,7 +344,174 @@ func run() error {
 	case <-time.After(20 * time.Second):
 		return fmt.Errorf("keyserve did not exit within 20s of SIGTERM")
 	}
+
+	return artifactLeg(bin, regDir, artPath)
+}
+
+// artifactLeg is the persistence half of the smoke test, run after the
+// trained server has drained: the saved artifact file must round-trip
+// in-process, and a fresh keyserve booted from the registry's text.live
+// tag must answer its first predict inside the cold-start budget, roll
+// back across the restart via the text.previous tag, and accept a
+// deploy addressed by artifact id.
+func artifactLeg(bin, regDir, artPath string) error {
+	log.Print("loading saved artifact in-process...")
+	loaded, err := keystone.Load[string, []float64](artPath)
+	if err != nil {
+		return fmt.Errorf("load saved artifact %s: %w", artPath, err)
+	}
+	if _, err := loaded.Transform(context.Background(), "saved artifact smoke"); err != nil {
+		return fmt.Errorf("transform through saved artifact: %w", err)
+	}
+
+	// Boot from the registry with no training flags in play: the whole
+	// startup is decode + bind. The budget is generous for a decode
+	// measured in single-digit milliseconds but tight enough that any
+	// accidental retraining (seconds) fails loudly. One retry absorbs a
+	// cold filesystem or a scheduler hiccup on a loaded CI machine.
+	const coldBudget = 100 * time.Millisecond
+	var (
+		cold    time.Duration
+		cmd2    *exec.Cmd
+		exited2 chan error
+		base2   string
+	)
+	for attempt := 1; ; attempt++ {
+		port, err := freePort()
+		if err != nil {
+			return err
+		}
+		base2 = fmt.Sprintf("http://127.0.0.1:%d", port)
+		cmd2 = exec.Command(bin,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+			"-routes", "text",
+			"-registry", regDir, "-artifact", "text.live",
+		)
+		cmd2.Stdout, cmd2.Stderr = os.Stderr, os.Stderr
+		start := time.Now()
+		if err := cmd2.Start(); err != nil {
+			return fmt.Errorf("restart keyserve: %w", err)
+		}
+		exited2 = make(chan error, 1)
+		go func() { exited2 <- cmd2.Wait() }()
+		cold, err = firstPredict(base2, exited2, start)
+		if err != nil {
+			cmd2.Process.Kill()
+			return err
+		}
+		if cold <= coldBudget || attempt == 2 {
+			break
+		}
+		log.Printf("cold start %v over the %v budget; retrying once", cold, coldBudget)
+		cmd2.Process.Signal(syscall.SIGTERM)
+		<-exited2
+	}
+	defer cmd2.Process.Kill()
+	if cold > coldBudget {
+		return fmt.Errorf("artifact cold start took %v, budget %v", cold, coldBudget)
+	}
+	log.Printf("artifact cold start: first successful predict %v after exec", cold.Round(time.Millisecond))
+
+	// Rollback with zero in-memory history: the rebooted route must fall
+	// back to the registry's text.previous tag (written by the first
+	// process before its last swap) and land on a different artifact
+	// than the one it booted from.
+	var rb struct {
+		Version int `json:"version"`
+	}
+	if err := postJSON(base2+"/routes/text/rollback", ``, &rb); err != nil {
+		return fmt.Errorf("rollback across restart: %w", err)
+	}
+	if rb.Version != 2 {
+		return fmt.Errorf("rollback across restart produced version %d, want 2", rb.Version)
+	}
+	var vers struct {
+		Versions []struct {
+			ID       int    `json:"id"`
+			Live     bool   `json:"live"`
+			Artifact string `json:"artifact"`
+		} `json:"versions"`
+	}
+	if err := getJSON(base2+"/routes/text/versions", &vers); err != nil {
+		return fmt.Errorf("/routes/text/versions after restart: %w", err)
+	}
+	if len(vers.Versions) != 2 || !vers.Versions[1].Live {
+		return fmt.Errorf("post-restart history = %+v, want 2 entries with v2 live", vers.Versions)
+	}
+	bootArt, rbArt := vers.Versions[0].Artifact, vers.Versions[1].Artifact
+	if bootArt == "" || rbArt == "" || bootArt == rbArt {
+		return fmt.Errorf("post-restart artifacts boot=%q rollback=%q, want two distinct ids", bootArt, rbArt)
+	}
+	var pred struct {
+		Label string `json:"label"`
+	}
+	if err := postJSON(base2+"/predict", `{"text":"rolled back across restart"}`, &pred); err != nil {
+		return fmt.Errorf("predict after cross-restart rollback: %w", err)
+	}
+
+	// Deploy addressed by artifact id over HTTP: flip back to the boot
+	// artifact without any training.
+	var dep struct {
+		Version int `json:"version"`
+	}
+	if err := postJSON(base2+"/routes/text/deploy", fmt.Sprintf(`{"artifact":%q}`, bootArt), &dep); err != nil {
+		return fmt.Errorf("deploy by artifact id: %w", err)
+	}
+	if dep.Version != 3 {
+		return fmt.Errorf("deploy by artifact id produced version %d, want 3", dep.Version)
+	}
+	if err := getJSON(base2+"/routes/text/versions", &vers); err != nil {
+		return fmt.Errorf("/routes/text/versions after artifact deploy: %w", err)
+	}
+	if len(vers.Versions) != 3 || vers.Versions[2].Artifact != bootArt {
+		return fmt.Errorf("artifact deploy landed %+v, want v3 carrying artifact %s", vers.Versions, bootArt)
+	}
+	if err := postJSON(base2+"/predict", `{"text":"serving the redeployed artifact"}`, &pred); err != nil {
+		return fmt.Errorf("predict after artifact deploy: %w", err)
+	}
+	log.Printf("registry restart: rollback to %.12s, redeploy of %.12s, all without retraining", rbArt, bootArt)
+
+	log.Print("draining restarted server...")
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signal restarted keyserve: %w", err)
+	}
+	select {
+	case err := <-exited2:
+		if err != nil {
+			return fmt.Errorf("restarted keyserve exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-time.After(20 * time.Second):
+		return fmt.Errorf("restarted keyserve did not exit within 20s of SIGTERM")
+	}
 	return nil
+}
+
+// firstPredict hammers /predict with a tight poll until the first
+// successful response, returning the elapsed time since start. It is
+// the cold-start stopwatch: keyserve binds its port before loading, so
+// early attempts see connection refused or a hung read, and the first
+// 200 marks load + register + serve all done.
+func firstPredict(base string, exited <-chan error, start time.Time) (time.Duration, error) {
+	client := &http.Client{Timeout: 500 * time.Millisecond}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-exited:
+			return 0, fmt.Errorf("keyserve exited during artifact boot: %v", err)
+		default:
+		}
+		resp, err := client.Post(base+"/predict", "application/json",
+			strings.NewReader(`{"text":"cold start probe"}`))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return time.Since(start), nil
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return 0, fmt.Errorf("no successful predict within 10s of artifact boot")
 }
 
 func freePort() (int, error) {

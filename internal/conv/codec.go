@@ -1,0 +1,82 @@
+package conv
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"keystoneml/internal/core"
+)
+
+// convolverState is the gob payload for both the logical Convolver and
+// the optimizer-substituted boundStrategy: a filter bank plus the
+// strategy name ("" = logical default, i.e. BLAS).
+type convolverState struct {
+	Bank     *FilterBank
+	Strategy string
+	Bound    bool // true when the encoded operator was a boundStrategy
+}
+
+func strategyByName(name string) (Strategy, error) {
+	switch name {
+	case "conv.direct":
+		return Direct{}, nil
+	case "conv.separable":
+		return Separable{}, nil
+	case "conv.blas":
+		return BLAS{}, nil
+	case "conv.fft":
+		return FFT{}, nil
+	}
+	return nil, fmt.Errorf("conv: unknown strategy %q", name)
+}
+
+func encodeConvolverState(s convolverState) ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(s)
+	return buf.Bytes(), err
+}
+
+// StateKind implements core.StateCodec.
+func (c *Convolver) StateKind() string { return "image.convolve" }
+
+// EncodeState implements core.StateCodec.
+func (c *Convolver) EncodeState() ([]byte, error) {
+	name := ""
+	if c.Strategy != nil {
+		name = c.Strategy.Name()
+	}
+	return encodeConvolverState(convolverState{Bank: c.Bank, Strategy: name})
+}
+
+// StateKind implements core.StateCodec.
+func (b *boundStrategy) StateKind() string { return "image.convolve" }
+
+// EncodeState implements core.StateCodec.
+func (b *boundStrategy) EncodeState() ([]byte, error) {
+	return encodeConvolverState(convolverState{Bank: b.bank, Strategy: b.s.Name(), Bound: true})
+}
+
+func init() {
+	core.RegisterStateDecoder("image.convolve", func(state []byte) (core.TransformOp, error) {
+		var s convolverState
+		if err := gob.NewDecoder(bytes.NewReader(state)).Decode(&s); err != nil {
+			return nil, err
+		}
+		if s.Bound {
+			st, err := strategyByName(s.Strategy)
+			if err != nil {
+				return nil, err
+			}
+			return &boundStrategy{bank: s.Bank, s: st}, nil
+		}
+		var st Strategy
+		if s.Strategy != "" {
+			var err error
+			if st, err = strategyByName(s.Strategy); err != nil {
+				return nil, err
+			}
+		}
+		return &Convolver{Bank: s.Bank, Strategy: st}, nil
+	})
+}

@@ -35,6 +35,7 @@ type fittedStep struct {
 	kind  NodeKind
 	deps  []int
 	apply func(in any) any // set for transform and apply-model steps
+	op    TransformOp      // the operator behind apply, for persistence
 	name  string
 }
 
@@ -62,6 +63,7 @@ func NewFitted(g *Graph, models map[int]TransformOp, ctx *engine.Context) *Fitte
 		case KindTransform:
 			st.deps = []int{walk(n.Deps[0])}
 			st.apply = n.Transform.Apply
+			st.op = n.Transform
 		case KindGather:
 			st.deps = make([]int, len(n.Deps))
 			for i, d := range n.Deps {
@@ -71,6 +73,7 @@ func NewFitted(g *Graph, models map[int]TransformOp, ctx *engine.Context) *Fitte
 			st.deps = []int{walk(n.Deps[1])}
 			if model, ok := models[n.Deps[0].ID]; ok {
 				st.apply = model.Apply
+				st.op = model
 			} else {
 				estID := n.Deps[0].ID
 				st.apply = func(any) any {

@@ -1,0 +1,45 @@
+package fisher
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"keystoneml/internal/core"
+	"keystoneml/internal/gmm"
+)
+
+// encoderState is the gob payload behind Encoder's StateCodec; the
+// mixture model rides as a nested gmm payload.
+type encoderState struct {
+	Model     []byte
+	PowerNorm bool
+	L2Norm    bool
+}
+
+// StateKind implements core.StateCodec.
+func (e *Encoder) StateKind() string { return "fisher.encode" }
+
+// EncodeState implements core.StateCodec.
+func (e *Encoder) EncodeState() ([]byte, error) {
+	model, err := gmm.EncodeModel(e.Model)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	err = gob.NewEncoder(&buf).Encode(encoderState{Model: model, PowerNorm: e.PowerNorm, L2Norm: e.L2Norm})
+	return buf.Bytes(), err
+}
+
+func init() {
+	core.RegisterStateDecoder("fisher.encode", func(state []byte) (core.TransformOp, error) {
+		var s encoderState
+		if err := gob.NewDecoder(bytes.NewReader(state)).Decode(&s); err != nil {
+			return nil, err
+		}
+		m, err := gmm.DecodeModel(s.Model)
+		if err != nil {
+			return nil, err
+		}
+		return &Encoder{Model: m, PowerNorm: s.PowerNorm, L2Norm: s.L2Norm}, nil
+	})
+}

@@ -1,0 +1,50 @@
+package gmm
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"keystoneml/internal/core"
+	"keystoneml/internal/linalg"
+)
+
+// modelState is the gob payload for a fitted mixture model, shared by
+// PosteriorTransform's codec and the fisher encoder's.
+type modelState struct {
+	Weights []float64
+	Means   *linalg.Matrix
+	Vars    *linalg.Matrix
+}
+
+// EncodeModel serializes a fitted mixture model for embedding in operator
+// state payloads.
+func EncodeModel(m *Model) ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(modelState{Weights: m.Weights, Means: m.Means, Vars: m.Vars})
+	return buf.Bytes(), err
+}
+
+// DecodeModel reverses EncodeModel.
+func DecodeModel(state []byte) (*Model, error) {
+	var s modelState
+	if err := gob.NewDecoder(bytes.NewReader(state)).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &Model{Weights: s.Weights, Means: s.Means, Vars: s.Vars}, nil
+}
+
+// StateKind implements core.StateCodec.
+func (p *PosteriorTransform) StateKind() string { return "model.gmm" }
+
+// EncodeState implements core.StateCodec.
+func (p *PosteriorTransform) EncodeState() ([]byte, error) { return EncodeModel(p.Model) }
+
+func init() {
+	core.RegisterStateDecoder("model.gmm", func(state []byte) (core.TransformOp, error) {
+		m, err := DecodeModel(state)
+		if err != nil {
+			return nil, err
+		}
+		return &PosteriorTransform{Model: m}, nil
+	})
+}

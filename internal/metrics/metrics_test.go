@@ -74,3 +74,35 @@ func TestArgmaxAll(t *testing.T) {
 		t.Errorf("ArgmaxAll = %v", got)
 	}
 }
+
+// TestEmptyInputsAreDefinedZero pins the empty-input contract across
+// every metric: zero rows yield a defined 0, never NaN from a 0/0
+// division. (The guards predate this test; the table keeps them from
+// regressing.)
+func TestEmptyInputsAreDefinedZero(t *testing.T) {
+	cases := []struct {
+		name string
+		got  float64
+	}{
+		{"Accuracy/nil", Accuracy(nil, nil)},
+		{"Accuracy/empty", Accuracy([][]float64{}, []int{})},
+		{"TopKError/nil", TopKError(nil, nil, 5)},
+		{"TopKError/empty", TopKError([][]float64{}, []int{}, 1)},
+		{"MeanAveragePrecision/nil", MeanAveragePrecision(nil, nil, 3)},
+		{"MeanAveragePrecision/empty", MeanAveragePrecision([][]float64{}, []int{}, 3)},
+		{"MeanAveragePrecision/zero classes", MeanAveragePrecision([][]float64{{0.5}}, []int{0}, 0)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if math.IsNaN(c.got) {
+				t.Fatalf("%s = NaN, want defined 0", c.name)
+			}
+			if c.got != 0 {
+				t.Fatalf("%s = %g, want 0", c.name, c.got)
+			}
+		})
+	}
+	if out := ArgmaxAll(nil); len(out) != 0 {
+		t.Fatalf("ArgmaxAll(nil) = %v, want empty", out)
+	}
+}

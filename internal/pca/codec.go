@@ -1,0 +1,36 @@
+package pca
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"keystoneml/internal/core"
+	"keystoneml/internal/linalg"
+)
+
+// projectionState is the gob payload behind Projection's StateCodec.
+type projectionState struct {
+	P    *linalg.Matrix
+	Mean []float64
+	Impl string
+}
+
+// StateKind implements core.StateCodec.
+func (p *Projection) StateKind() string { return "model.pca" }
+
+// EncodeState implements core.StateCodec.
+func (p *Projection) EncodeState() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(projectionState{P: p.P, Mean: p.Mean, Impl: p.Impl})
+	return buf.Bytes(), err
+}
+
+func init() {
+	core.RegisterStateDecoder("model.pca", func(state []byte) (core.TransformOp, error) {
+		var s projectionState
+		if err := gob.NewDecoder(bytes.NewReader(state)).Decode(&s); err != nil {
+			return nil, err
+		}
+		return &Projection{P: s.P, Mean: s.Mean, Impl: s.Impl}, nil
+	})
+}

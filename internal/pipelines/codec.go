@@ -1,0 +1,14 @@
+package pipelines
+
+import "keystoneml/internal/core"
+
+func init() {
+	// The evaluation pipelines' only private operator is the final
+	// feature normalizer, stateless and reconstructible by name.
+	core.RegisterFuncResolver(func(name string) (core.TransformOp, bool) {
+		if name == "features.normalize" {
+			return normalizeOp().Raw(), true
+		}
+		return nil, false
+	})
+}

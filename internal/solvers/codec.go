@@ -1,0 +1,38 @@
+package solvers
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"keystoneml/internal/core"
+	"keystoneml/internal/linalg"
+)
+
+// linearMapperState is the gob payload behind LinearMapper's StateCodec.
+type linearMapperState struct {
+	W          *linalg.Matrix
+	TrainLoss  float64
+	SolverName string
+}
+
+// StateKind implements core.StateCodec.
+func (m *LinearMapper) StateKind() string { return "model.linear" }
+
+// EncodeState implements core.StateCodec.
+func (m *LinearMapper) EncodeState() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(linearMapperState{
+		W: m.W, TrainLoss: m.TrainLoss, SolverName: m.SolverName,
+	})
+	return buf.Bytes(), err
+}
+
+func init() {
+	core.RegisterStateDecoder("model.linear", func(state []byte) (core.TransformOp, error) {
+		var s linearMapperState
+		if err := gob.NewDecoder(bytes.NewReader(state)).Decode(&s); err != nil {
+			return nil, err
+		}
+		return &LinearMapper{W: s.W, TrainLoss: s.TrainLoss, SolverName: s.SolverName}, nil
+	})
+}

@@ -1,0 +1,39 @@
+package speech
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"keystoneml/internal/core"
+	"keystoneml/internal/linalg"
+)
+
+// randomFeaturesState is the gob payload behind RandomFeatures'
+// StateCodec. Scale is carried explicitly rather than rederived from
+// W.Rows so loaded state matches the trained operator bit for bit even
+// if the construction formula ever changes.
+type randomFeaturesState struct {
+	W     *linalg.Matrix
+	B     []float64
+	Scale float64
+}
+
+// StateKind implements core.StateCodec.
+func (r *RandomFeatures) StateKind() string { return "speech.randomfeatures" }
+
+// EncodeState implements core.StateCodec.
+func (r *RandomFeatures) EncodeState() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(randomFeaturesState{W: r.W, B: r.B, Scale: r.scale})
+	return buf.Bytes(), err
+}
+
+func init() {
+	core.RegisterStateDecoder("speech.randomfeatures", func(state []byte) (core.TransformOp, error) {
+		var s randomFeaturesState
+		if err := gob.NewDecoder(bytes.NewReader(state)).Decode(&s); err != nil {
+			return nil, err
+		}
+		return &RandomFeatures{W: s.W, B: s.B, scale: s.Scale}, nil
+	})
+}

@@ -1,0 +1,57 @@
+package text
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"keystoneml/internal/core"
+)
+
+// vocabularyState is the gob payload behind Vocabulary's StateCodec.
+type vocabularyState struct {
+	Index map[string]int
+	Dim   int
+}
+
+// StateKind implements core.StateCodec.
+func (v *Vocabulary) StateKind() string { return "model.vocab" }
+
+// EncodeState implements core.StateCodec.
+func (v *Vocabulary) EncodeState() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(vocabularyState{Index: v.Index, Dim: v.Dim})
+	return buf.Bytes(), err
+}
+
+func init() {
+	core.RegisterStateDecoder("model.vocab", func(state []byte) (core.TransformOp, error) {
+		var s vocabularyState
+		if err := gob.NewDecoder(bytes.NewReader(state)).Decode(&s); err != nil {
+			return nil, err
+		}
+		return &Vocabulary{Index: s.Index, Dim: s.Dim}, nil
+	})
+
+	// The text featurizers are stateless and reconstructible from their
+	// names. "text.termfreq" resolves to the Binary weighting — the only
+	// weighting reachable through the public pipeline surface; a custom
+	// weight function cannot be persisted by name.
+	core.RegisterFuncResolver(func(name string) (core.TransformOp, bool) {
+		switch name {
+		case "text.trim":
+			return Trim().Raw(), true
+		case "text.lowercase":
+			return LowerCase().Raw(), true
+		case "text.tokenize":
+			return Tokenizer().Raw(), true
+		case "text.termfreq":
+			return TermFrequency(Binary).Raw(), true
+		}
+		var lo, hi int
+		if n, err := fmt.Sscanf(name, "text.ngrams[%d-%d]", &lo, &hi); n == 2 && err == nil && lo >= 1 && hi >= lo {
+			return NGrams(lo, hi).Raw(), true
+		}
+		return nil, false
+	})
+}

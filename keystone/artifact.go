@@ -1,0 +1,211 @@
+package keystone
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	"keystoneml/internal/core"
+	"keystoneml/internal/engine"
+)
+
+// ArtifactFormatVersion is the current on-disk artifact format. Load
+// rejects artifacts written by a different format version.
+const ArtifactFormatVersion = 1
+
+// artifactMagic opens every artifact file (8 bytes).
+const artifactMagic = "KSTNART\n"
+
+// artifactDigestLen is the SHA-256 integrity trailer length.
+const artifactDigestLen = sha256.Size
+
+// ErrArtifactCorrupt reports an artifact whose bytes fail the integrity
+// check: wrong magic, truncation, or a digest mismatch.
+var ErrArtifactCorrupt = errors.New("keystone: artifact corrupt")
+
+// ErrArtifactVersion reports an artifact written by an incompatible
+// format version.
+var ErrArtifactVersion = errors.New("keystone: artifact format version mismatch")
+
+// ErrArtifactType reports an artifact whose pipeline input/output types
+// do not match the type parameters it is being loaded with.
+var ErrArtifactType = errors.New("keystone: artifact type mismatch")
+
+// artifactPayload is the gob-encoded body of an artifact: the record
+// types served, the precompiled step plan with per-operator fitted
+// state, and the plan's structural fingerprint.
+type artifactPayload struct {
+	InType, OutType string
+	Steps           []core.StepRecord
+	OutIdx          int
+	Shape           string // hex SHA-256 of core.ShapeSpec(Steps)
+}
+
+func typeName[T any]() string {
+	return reflect.TypeOf((*T)(nil)).Elem().String()
+}
+
+func shapeDigest(steps []core.StepRecord) string {
+	sum := sha256.Sum256([]byte(core.ShapeSpec(steps)))
+	return hex.EncodeToString(sum[:])
+}
+
+// Encode serializes a fitted pipeline into the versioned artifact format:
+// magic, a big-endian format version, the gob payload (step plan plus
+// per-operator fitted state), and a SHA-256 integrity trailer over
+// everything before it. Pipelines containing operators that support
+// neither core.StateCodec nor name resolution (e.g. ad-hoc NewOp
+// closures not registered with RegisterStatelessOp) cannot be encoded.
+func Encode[I, O any](f *Fitted[I, O]) ([]byte, error) {
+	if f == nil {
+		return nil, fmt.Errorf("keystone: Encode of nil fitted pipeline")
+	}
+	steps, err := f.inner.StepRecords()
+	if err != nil {
+		return nil, err
+	}
+	payload := artifactPayload{
+		InType:  typeName[I](),
+		OutType: typeName[O](),
+		Steps:   steps,
+		OutIdx:  f.inner.OutIdx(),
+		Shape:   shapeDigest(steps),
+	}
+	var buf bytes.Buffer
+	buf.WriteString(artifactMagic)
+	var ver [4]byte
+	binary.BigEndian.PutUint32(ver[:], ArtifactFormatVersion)
+	buf.Write(ver[:])
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		return nil, fmt.Errorf("keystone: encode artifact payload: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+	return buf.Bytes(), nil
+}
+
+// Decode reconstructs a fitted pipeline from artifact bytes, verifying
+// the magic, format version, integrity digest, record types and pipeline
+// shape. opts tune the reconstructed execution context (WithWorkers); the
+// other fit options have no effect on a loaded pipeline.
+func Decode[I, O any](data []byte, opts ...Option) (*Fitted[I, O], error) {
+	header := len(artifactMagic) + 4
+	if len(data) < header+artifactDigestLen {
+		return nil, fmt.Errorf("%w: %d bytes is too short to be an artifact", ErrArtifactCorrupt, len(data))
+	}
+	if string(data[:len(artifactMagic)]) != artifactMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrArtifactCorrupt)
+	}
+	ver := binary.BigEndian.Uint32(data[len(artifactMagic):header])
+	if ver != ArtifactFormatVersion {
+		return nil, fmt.Errorf("%w: artifact is format v%d, this build reads v%d", ErrArtifactVersion, ver, ArtifactFormatVersion)
+	}
+	body, trailer := data[:len(data)-artifactDigestLen], data[len(data)-artifactDigestLen:]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], trailer) {
+		return nil, fmt.Errorf("%w: integrity digest mismatch", ErrArtifactCorrupt)
+	}
+	var payload artifactPayload
+	if err := gob.NewDecoder(bytes.NewReader(body[header:])).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrArtifactCorrupt, err)
+	}
+	if in, out := typeName[I](), typeName[O](); payload.InType != in || payload.OutType != out {
+		return nil, fmt.Errorf("%w: artifact serves %s -> %s, loading as %s -> %s",
+			ErrArtifactType, payload.InType, payload.OutType, in, out)
+	}
+	if got := shapeDigest(payload.Steps); got != payload.Shape {
+		return nil, fmt.Errorf("%w: shape digest %s does not match plan (%s)", ErrArtifactCorrupt, payload.Shape, got)
+	}
+	cfg := defaultFitConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	inner, err := core.FittedFromSteps(payload.Steps, payload.OutIdx, engine.NewContext(cfg.workers))
+	if err != nil {
+		return nil, err
+	}
+	return &Fitted[I, O]{inner: inner}, nil
+}
+
+// Save writes the fitted pipeline to path in the artifact format,
+// atomically (temp file + rename), creating parent directories as
+// needed.
+func Save[I, O any](f *Fitted[I, O], path string) error {
+	data, err := Encode(f)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("keystone: save artifact: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".ksart-*")
+	if err != nil {
+		return fmt.Errorf("keystone: save artifact: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("keystone: save artifact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("keystone: save artifact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("keystone: save artifact: %w", err)
+	}
+	return nil
+}
+
+// Load reads an artifact written by Save and reconstructs the fitted
+// pipeline; see Decode for the checks applied.
+func Load[I, O any](path string, opts ...Option) (*Fitted[I, O], error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("keystone: load artifact: %w", err)
+	}
+	f, err := Decode[I, O](data, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("keystone: load artifact %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// ShapeDigest returns the hex SHA-256 fingerprint of the pipeline's
+// apply-time structure: step kinds, operator kinds and dependency
+// wiring, independent of fitted weights. Two pipelines with equal
+// digests run the same operators in the same topology, which makes the
+// digest the compatibility key for artifact/route pairing. It fails for
+// pipelines whose operators cannot be persisted.
+func (f *Fitted[I, O]) ShapeDigest() (string, error) {
+	steps, err := f.inner.StepRecords()
+	if err != nil {
+		return "", err
+	}
+	return shapeDigest(steps), nil
+}
+
+// RegisterStatelessOp makes a named stateless operator persistable: an
+// artifact step whose operator carries this name is reconstructed by
+// calling fn at load time. Use it for custom NewOp functions embedded in
+// pipelines that need Save/Load; the name must fully determine fn's
+// behaviour and must be registered (typically from an init function)
+// before both Save and Load. Stateful custom operators should implement
+// core.StateCodec instead.
+func RegisterStatelessOp[A, B any](name string, fn func(A) B) {
+	core.RegisterFuncResolver(func(n string) (core.TransformOp, bool) {
+		if n != name {
+			return nil, false
+		}
+		return core.TypedTransform(name, fn), true
+	})
+}

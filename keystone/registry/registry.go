@@ -1,0 +1,330 @@
+// Package registry is a content-addressed store for fitted-pipeline
+// artifacts: objects are stored under the hex SHA-256 of their bytes,
+// tags are named mutable pointers to objects, and references resolve by
+// tag, full id, or unique id prefix. The layout is plain files
+// (objects/<id[:2]>/<id>, tags/<name>), so a registry directory can be
+// rsync'd, inspected, and garbage-collected with ordinary tools.
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"keystoneml/keystone"
+)
+
+// ErrNotFound reports a reference that resolves to no stored object.
+var ErrNotFound = errors.New("registry: object not found")
+
+// ErrAmbiguous reports an id prefix matching more than one object.
+var ErrAmbiguous = errors.New("registry: ambiguous id prefix")
+
+// tagRE constrains tag names to filesystem-safe tokens.
+var tagRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]*$`)
+
+// idRE matches (prefixes of) hex object ids.
+var idRE = regexp.MustCompile(`^[0-9a-f]+$`)
+
+// Registry is a content-addressed artifact store rooted at one
+// directory. All methods are safe for concurrent use by multiple
+// processes: objects are immutable once written (writes go through a
+// temp file + rename), and tag updates are atomic renames.
+type Registry struct {
+	dir string
+}
+
+// Open opens (creating if needed) a registry rooted at dir.
+func Open(dir string) (*Registry, error) {
+	for _, sub := range []string{"objects", "tags"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("registry: open %s: %w", dir, err)
+		}
+	}
+	return &Registry{dir: dir}, nil
+}
+
+// Dir returns the registry's root directory.
+func (r *Registry) Dir() string { return r.dir }
+
+func (r *Registry) objectPath(id string) string {
+	return filepath.Join(r.dir, "objects", id[:2], id)
+}
+
+// Put stores data under its content address and returns the hex SHA-256
+// id. Storing bytes already present is a cheap no-op returning the same
+// id.
+func (r *Registry) Put(data []byte) (string, error) {
+	sum := sha256.Sum256(data)
+	id := hex.EncodeToString(sum[:])
+	path := r.objectPath(id)
+	if _, err := os.Stat(path); err == nil {
+		return id, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return "", fmt.Errorf("registry: put: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".obj-*")
+	if err != nil {
+		return "", fmt.Errorf("registry: put: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("registry: put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("registry: put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("registry: put: %w", err)
+	}
+	return id, nil
+}
+
+// Get returns the object stored under the full id, re-verifying that the
+// bytes still hash to their address (bit rot or tampering surfaces here,
+// not in whatever consumes the artifact).
+func (r *Registry) Get(id string) ([]byte, error) {
+	data, err := os.ReadFile(r.objectPath(id))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("registry: get %s: %w", id, err)
+	}
+	sum := sha256.Sum256(data)
+	if got := hex.EncodeToString(sum[:]); got != id {
+		return nil, fmt.Errorf("registry: object %s is corrupt (content hashes to %s)", id, got)
+	}
+	return data, nil
+}
+
+// Has reports whether the full id is stored.
+func (r *Registry) Has(id string) bool {
+	if len(id) < 2 {
+		return false
+	}
+	_, err := os.Stat(r.objectPath(id))
+	return err == nil
+}
+
+// Tag points name at the object ref resolves to. Tags are the registry's
+// mutable layer — "text.live" style deployment pointers — and updates
+// are atomic.
+func (r *Registry) Tag(name, ref string) error {
+	if !tagRE.MatchString(name) {
+		return fmt.Errorf("registry: invalid tag name %q", name)
+	}
+	id, err := r.Resolve(ref)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(r.dir, "tags", name)
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tag-*")
+	if err != nil {
+		return fmt.Errorf("registry: tag: %w", err)
+	}
+	if _, err := tmp.WriteString(id + "\n"); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("registry: tag: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("registry: tag: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("registry: tag: %w", err)
+	}
+	return nil
+}
+
+// Untag removes a tag (the object it pointed at stays).
+func (r *Registry) Untag(name string) error {
+	if !tagRE.MatchString(name) {
+		return fmt.Errorf("registry: invalid tag name %q", name)
+	}
+	err := os.Remove(filepath.Join(r.dir, "tags", name))
+	if errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("%w: tag %s", ErrNotFound, name)
+	}
+	return err
+}
+
+// Tags returns the tag table, name -> object id, sorted by name in the
+// returned slice order of Keys; callers wanting determinism should sort.
+func (r *Registry) Tags() (map[string]string, error) {
+	entries, err := os.ReadDir(filepath.Join(r.dir, "tags"))
+	if err != nil {
+		return nil, fmt.Errorf("registry: tags: %w", err)
+	}
+	out := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(r.dir, "tags", e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("registry: tags: %w", err)
+		}
+		out[e.Name()] = strings.TrimSpace(string(data))
+	}
+	return out, nil
+}
+
+// Resolve turns a reference — a tag name, a full object id, or a unique
+// id prefix (>= 4 hex chars) — into a full object id.
+func (r *Registry) Resolve(ref string) (string, error) {
+	if tagRE.MatchString(ref) {
+		data, err := os.ReadFile(filepath.Join(r.dir, "tags", ref))
+		if err == nil {
+			id := strings.TrimSpace(string(data))
+			if !r.Has(id) {
+				return "", fmt.Errorf("%w: tag %s points at missing object %s", ErrNotFound, ref, id)
+			}
+			return id, nil
+		}
+	}
+	if !idRE.MatchString(ref) || len(ref) < 4 {
+		return "", fmt.Errorf("%w: %q is neither a tag nor an id (prefix)", ErrNotFound, ref)
+	}
+	if len(ref) == sha256.Size*2 {
+		if !r.Has(ref) {
+			return "", fmt.Errorf("%w: %s", ErrNotFound, ref)
+		}
+		return ref, nil
+	}
+	ids, err := r.list()
+	if err != nil {
+		return "", err
+	}
+	var match string
+	for _, id := range ids {
+		if strings.HasPrefix(id, ref) {
+			if match != "" {
+				return "", fmt.Errorf("%w: %q matches %s and %s", ErrAmbiguous, ref, match[:12], id[:12])
+			}
+			match = id
+		}
+	}
+	if match == "" {
+		return "", fmt.Errorf("%w: %s", ErrNotFound, ref)
+	}
+	return match, nil
+}
+
+// Entry describes one stored object in a List.
+type Entry struct {
+	// ID is the object's content address (hex SHA-256).
+	ID string
+	// Size is the object's byte length.
+	Size int64
+	// ModTime is when the object was stored.
+	ModTime time.Time
+	// Tags are the tag names currently pointing at the object.
+	Tags []string
+}
+
+// List enumerates stored objects with their sizes and tags, sorted by id.
+func (r *Registry) List() ([]Entry, error) {
+	ids, err := r.list()
+	if err != nil {
+		return nil, err
+	}
+	tags, err := r.Tags()
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[string][]string)
+	for name, id := range tags {
+		byID[id] = append(byID[id], name)
+	}
+	out := make([]Entry, 0, len(ids))
+	for _, id := range ids {
+		fi, err := os.Stat(r.objectPath(id))
+		if err != nil {
+			continue // raced a concurrent GC; skip
+		}
+		names := byID[id]
+		sort.Strings(names)
+		out = append(out, Entry{ID: id, Size: fi.Size(), ModTime: fi.ModTime(), Tags: names})
+	}
+	return out, nil
+}
+
+// list returns all stored object ids, sorted.
+func (r *Registry) list() ([]string, error) {
+	root := filepath.Join(r.dir, "objects")
+	buckets, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("registry: list: %w", err)
+	}
+	var ids []string
+	for _, b := range buckets {
+		if !b.IsDir() {
+			continue
+		}
+		objs, err := os.ReadDir(filepath.Join(root, b.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("registry: list: %w", err)
+		}
+		for _, o := range objs {
+			if name := o.Name(); idRE.MatchString(name) && len(name) == sha256.Size*2 {
+				ids = append(ids, name)
+			}
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Store encodes a fitted pipeline into the artifact format, stores it
+// under its content address, applies any tags, and returns the id. It is
+// the typed write path pairing with Load.
+func Store[I, O any](r *Registry, f *keystone.Fitted[I, O], tags ...string) (string, error) {
+	data, err := keystone.Encode(f)
+	if err != nil {
+		return "", err
+	}
+	id, err := r.Put(data)
+	if err != nil {
+		return "", err
+	}
+	for _, tag := range tags {
+		if err := r.Tag(tag, id); err != nil {
+			return "", err
+		}
+	}
+	return id, nil
+}
+
+// Load resolves ref, fetches the artifact, and decodes it as a fitted
+// pipeline from I to O. It returns the resolved id alongside the
+// pipeline so callers can record exactly which artifact they are
+// serving.
+func Load[I, O any](r *Registry, ref string, opts ...keystone.Option) (*keystone.Fitted[I, O], string, error) {
+	id, err := r.Resolve(ref)
+	if err != nil {
+		return nil, "", err
+	}
+	data, err := r.Get(id)
+	if err != nil {
+		return nil, "", err
+	}
+	f, err := keystone.Decode[I, O](data, opts...)
+	if err != nil {
+		return nil, "", fmt.Errorf("registry: decode %s: %w", id[:12], err)
+	}
+	return f, id, nil
+}

@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"keystoneml/keystone"
+)
+
+// memStore is an in-memory ArtifactStore for route persistence tests;
+// failTags makes every Tag call fail to exercise the best-effort path.
+type memStore struct {
+	mu       sync.Mutex
+	objs     map[string][]byte
+	tags     map[string]string
+	failTags bool
+}
+
+func newMemStore() *memStore {
+	return &memStore{objs: map[string][]byte{}, tags: map[string]string{}}
+}
+
+func (m *memStore) Put(data []byte) (string, error) {
+	sum := sha256.Sum256(data)
+	id := hex.EncodeToString(sum[:])
+	m.mu.Lock()
+	m.objs[id] = data
+	m.mu.Unlock()
+	return id, nil
+}
+
+func (m *memStore) Get(id string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.objs[id]
+	if !ok {
+		return nil, fmt.Errorf("memstore: no object %s", id)
+	}
+	return data, nil
+}
+
+func (m *memStore) Resolve(ref string) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id, ok := m.tags[ref]; ok {
+		return id, nil
+	}
+	if _, ok := m.objs[ref]; ok {
+		return ref, nil
+	}
+	return "", fmt.Errorf("memstore: unknown ref %q", ref)
+}
+
+func (m *memStore) Tag(name, ref string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.failTags {
+		return fmt.Errorf("memstore: tag writes disabled")
+	}
+	id := ref
+	if t, ok := m.tags[ref]; ok {
+		id = t
+	}
+	m.tags[name] = id
+	return nil
+}
+
+func (m *memStore) tag(name string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tags[name]
+}
+
+func init() {
+	// The usual test markers are ad-hoc closures and cannot be encoded;
+	// these two registered ops give the persistence tests distinguishable
+	// pipelines that round-trip through a store.
+	keystone.RegisterStatelessOp("serve.markA", func(x float64) []float64 { return []float64{1, x} })
+	keystone.RegisterStatelessOp("serve.markB", func(x float64) []float64 { return []float64{2, x} })
+}
+
+// fitStoredMarker fits a persistable marker pipeline: x -> [mark, x]
+// with mark 1 ("serve.markA") or 2 ("serve.markB").
+func fitStoredMarker(t testing.TB, name string) *keystone.Fitted[float64, []float64] {
+	t.Helper()
+	p := keystone.Input[float64]()
+	var out *keystone.Pipeline[float64, []float64]
+	switch name {
+	case "serve.markA":
+		out = keystone.Then(p, keystone.NewOp(name, func(x float64) []float64 { return []float64{1, x} }))
+	case "serve.markB":
+		out = keystone.Then(p, keystone.NewOp(name, func(x float64) []float64 { return []float64{2, x} }))
+	default:
+		t.Fatalf("unknown marker %q", name)
+	}
+	f, err := out.Fit(context.Background(), []float64{1, 2}, nil,
+		keystone.WithOptimizerLevel(keystone.LevelNone))
+	if err != nil {
+		t.Fatalf("fit stored marker: %v", err)
+	}
+	return f
+}
+
+func markOf(t *testing.T, rt *Route[float64, []float64]) float64 {
+	t.Helper()
+	out, err := rt.Predict(context.Background(), 7)
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	return out[0]
+}
+
+// TestStoreBackedDeployAndTags: with a store bound, every version that
+// takes traffic is stored under its content address, the version
+// history records the ids, and the live/previous tags follow each swap
+// (deploy and rollback alike).
+func TestStoreBackedDeployAndTags(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	store := newMemStore()
+	rt, err := Register(s, "m", fitStoredMarker(t, "serve.markA"), JSONCodec[float64, []float64]{},
+		WithArtifactStore(store))
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	v1 := rt.cur.Load()
+	if v1.artifact == "" {
+		t.Fatal("initial version has no artifact id despite a bound store")
+	}
+	if got := store.tag("m.live"); got != v1.artifact {
+		t.Fatalf("m.live = %s, want %s", got, v1.artifact)
+	}
+
+	if _, err := rt.Deploy(context.Background(), fitStoredMarker(t, "serve.markB")); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	v2 := rt.cur.Load()
+	if v2.artifact == "" || v2.artifact == v1.artifact {
+		t.Fatalf("v2 artifact %q, want a distinct id from v1 %q", v2.artifact, v1.artifact)
+	}
+	if store.tag("m.live") != v2.artifact || store.tag("m.previous") != v1.artifact {
+		t.Fatalf("after deploy: live=%s previous=%s, want %s / %s",
+			store.tag("m.live"), store.tag("m.previous"), v2.artifact, v1.artifact)
+	}
+
+	// In-memory rollback: the restored version carries v1's artifact id
+	// (same bytes, no re-encode) and the tags swap back.
+	if _, err := rt.Rollback(context.Background()); err != nil {
+		t.Fatalf("rollback: %v", err)
+	}
+	v3 := rt.cur.Load()
+	if v3.artifact != v1.artifact {
+		t.Fatalf("rollback artifact %s, want v1's %s", v3.artifact, v1.artifact)
+	}
+	if store.tag("m.live") != v1.artifact || store.tag("m.previous") != v2.artifact {
+		t.Fatalf("after rollback: live=%s previous=%s", store.tag("m.live"), store.tag("m.previous"))
+	}
+	if m := markOf(t, rt); m != 1 {
+		t.Fatalf("serving mark %g after rollback, want 1", m)
+	}
+}
+
+// TestRollbackAcrossRestart is the durability payoff: a fresh process
+// (new Server, no in-memory history) registered from the store's live
+// tag can still roll back, because the previous tag survives on the
+// store.
+func TestRollbackAcrossRestart(t *testing.T) {
+	store := newMemStore()
+
+	// Process 1: register A, deploy B, die.
+	s1 := NewServer()
+	rt1, err := Register(s1, "m", fitStoredMarker(t, "serve.markA"), JSONCodec[float64, []float64]{},
+		WithArtifactStore(store))
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if _, err := rt1.Deploy(context.Background(), fitStoredMarker(t, "serve.markB")); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	bootArt := rt1.cur.Load().artifact
+	s1.Close()
+
+	// Process 2: boot from m.live (marker B), then roll back to marker A
+	// purely via the store.
+	s2 := NewServer()
+	defer s2.Close()
+	rt2, err := RegisterArtifact(s2, "m", store, "m.live", JSONCodec[float64, []float64]{})
+	if err != nil {
+		t.Fatalf("register from artifact: %v", err)
+	}
+	if got := rt2.cur.Load().artifact; got != bootArt {
+		t.Fatalf("booted artifact %s, want the stored live id %s (no re-encode)", got, bootArt)
+	}
+	if m := markOf(t, rt2); m != 2 {
+		t.Fatalf("booted route serves mark %g, want 2 (marker B)", m)
+	}
+
+	ver, err := rt2.Rollback(context.Background())
+	if err != nil {
+		t.Fatalf("rollback across restart: %v", err)
+	}
+	if ver != 2 {
+		t.Fatalf("rollback produced version %d, want 2", ver)
+	}
+	if m := markOf(t, rt2); m != 1 {
+		t.Fatalf("rolled-back route serves mark %g, want 1 (marker A)", m)
+	}
+	if live := rt2.cur.Load(); live.artifact == bootArt || live.artifact == "" {
+		t.Fatalf("rolled-back artifact %q, want the pre-restart previous id", live.artifact)
+	}
+}
+
+// TestDeployArtifactByRef covers the registry-backed deploy path and its
+// error cases.
+func TestDeployArtifactByRef(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	store := newMemStore()
+	rt, err := Register(s, "m", fitStoredMarker(t, "serve.markA"), JSONCodec[float64, []float64]{},
+		WithArtifactStore(store))
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+
+	// Store marker B out-of-band (the offline-training flow) and deploy
+	// it by id.
+	data, err := keystone.Encode(fitStoredMarker(t, "serve.markB"))
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	id, err := store.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver, err := rt.DeployArtifact(context.Background(), id)
+	if err != nil {
+		t.Fatalf("deploy artifact: %v", err)
+	}
+	if ver != 2 {
+		t.Fatalf("deploy artifact produced version %d, want 2", ver)
+	}
+	if m := markOf(t, rt); m != 2 {
+		t.Fatalf("serving mark %g after artifact deploy, want 2", m)
+	}
+	if got := rt.cur.Load().artifact; got != id {
+		t.Fatalf("live artifact %s, want the deployed id %s", got, id)
+	}
+
+	if _, err := rt.DeployArtifact(context.Background(), "no-such-ref"); err == nil {
+		t.Fatal("deploying an unknown ref must error")
+	}
+
+	// A route with no store bound refuses artifact deploys.
+	bare, err := Register(s, "bare", fitStoredMarker(t, "serve.markA"), JSONCodec[float64, []float64]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bare.DeployArtifact(context.Background(), id); err == nil {
+		t.Fatal("DeployArtifact without a bound store must error")
+	}
+	// And rollback on a fresh store-less route still reports no history.
+	if _, err := bare.Rollback(context.Background()); err == nil {
+		t.Fatal("rollback with no history and no store must error")
+	}
+}
+
+// TestRegisterArtifactErrors: unknown refs and type mismatches fail
+// registration cleanly.
+func TestRegisterArtifactErrors(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	store := newMemStore()
+	if _, err := RegisterArtifact(s, "m", store, "nope", JSONCodec[float64, []float64]{}); err == nil {
+		t.Fatal("RegisterArtifact with an unknown ref must error")
+	}
+	data, err := keystone.Encode(fitStoredMarker(t, "serve.markA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := store.Put(data)
+	if _, err := RegisterArtifact(s, "m", store, id, JSONCodec[string, []float64]{}); !errors.Is(err, keystone.ErrArtifactType) {
+		t.Fatalf("RegisterArtifact with wrong record type = %v, want ErrArtifactType", err)
+	}
+}
+
+// TestRegisterUnpersistablePipelineFails: binding a store promises
+// durable versions, so a pipeline that cannot be encoded must fail at
+// Register, not silently serve without persistence.
+func TestRegisterUnpersistablePipelineFails(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	if _, err := Register(s, "m", fitFloatMarker(t, 1), JSONCodec[float64, []float64]{},
+		WithArtifactStore(newMemStore())); err == nil {
+		t.Fatal("registering an unencodable pipeline with a store bound must error")
+	}
+}
+
+// TestTagFailuresAreBestEffort: tag writes failing must not fail the
+// swap — they only bump the route's tag-error counter.
+func TestTagFailuresAreBestEffort(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	store := newMemStore()
+	store.failTags = true
+	rt, err := Register(s, "m", fitStoredMarker(t, "serve.markA"), JSONCodec[float64, []float64]{},
+		WithArtifactStore(store))
+	if err != nil {
+		t.Fatalf("register with failing tags: %v", err)
+	}
+	if _, err := rt.Deploy(context.Background(), fitStoredMarker(t, "serve.markB")); err != nil {
+		t.Fatalf("deploy with failing tags: %v", err)
+	}
+	if m := markOf(t, rt); m != 2 {
+		t.Fatalf("serving mark %g, want 2 — swap must survive tag failures", m)
+	}
+	if rt.tagErrs.Load() == 0 {
+		t.Fatal("tag failures were not counted")
+	}
+}

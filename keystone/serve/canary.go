@@ -137,8 +137,15 @@ func (rt *Route[I, O]) stage(ctx context.Context, fitted *keystone.Fitted[I, O],
 	if mode == modeShadow {
 		note = "shadow candidate"
 	}
+	// A candidate is stored up front like a deploy: if it wins promotion
+	// the swap must not be the first moment persistence can fail.
+	art, err := rt.storeFitted(fitted)
+	if err != nil {
+		return 0, err
+	}
 	cand := &version[I, O]{
 		note:     note,
+		artifact: art,
 		fitted:   fitted,
 		batcher:  keystone.NewBatcher(fitted, batch, delay),
 		deployed: time.Now(),
@@ -182,11 +189,14 @@ func (rt *Route[I, O]) Promote(ctx context.Context) (int, error) {
 		return 0, ErrNoCanary
 	}
 	old := rt.cur.Swap(st.cand)
+	prevArt := ""
 	if old != nil {
 		rt.prevLiveID = old.id
+		prevArt = old.artifact
 		old.gate.retire()
 		old.batcher.Close()
 	}
+	rt.retagLocked(st.cand.artifact, prevArt)
 	return st.cand.id, nil
 }
 

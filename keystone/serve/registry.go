@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -26,11 +27,13 @@ var routeNameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9_-]*$`)
 type RouteOption func(*routeConfig)
 
 type routeConfig struct {
-	maxBatch  int
-	maxDelay  time.Duration
-	timeout   time.Duration
-	slo       SLO
-	admission Admission
+	maxBatch   int
+	maxDelay   time.Duration
+	timeout    time.Duration
+	slo        SLO
+	admission  Admission
+	store      ArtifactStore
+	artifactID string // initial version's known content address (RegisterArtifact)
 }
 
 // WithBatchLimits sets the route's initial micro-batching limits
@@ -90,6 +93,12 @@ type Route[I, O any] struct {
 	// adm is the route's admission control (nil admits everything).
 	adm *admitter
 
+	// store is the bound artifact registry (nil = none); set once at
+	// Register time and immutable after, so the request path and stats
+	// read it without locks. tagErrs counts failed best-effort tag moves.
+	store   ArtifactStore
+	tagErrs atomic.Int64
+
 	histMu sync.RWMutex
 	vers   []*version[I, O]
 
@@ -120,6 +129,7 @@ func Register[I, O any](s *Server, name string, fitted *keystone.Fitted[I, O], c
 		codec:   codec,
 		timeout: cfg.timeout,
 		adm:     newAdmitter(cfg.admission),
+		store:   cfg.store,
 	}
 	batch, delay := cfg.maxBatch, cfg.maxDelay
 	if cfg.slo.TargetP95 > 0 {
@@ -135,9 +145,18 @@ func Register[I, O any](s *Server, name string, fitted *keystone.Fitted[I, O], c
 	}
 
 	// Deploy before publishing in the registry so the route is never
-	// visible over HTTP without a live version.
+	// visible over HTTP without a live version. With an artifact store
+	// bound, the initial version is made durable first (RegisterArtifact
+	// already knows its id; a trained pipeline is encoded and stored).
+	art := cfg.artifactID
+	if rt.store != nil && art == "" {
+		var err error
+		if art, err = rt.storeFitted(fitted); err != nil {
+			return nil, err
+		}
+	}
 	rt.mu.Lock()
-	rt.deployLocked(fitted, "initial")
+	rt.deployLocked(fitted, "initial", art)
 	rt.mu.Unlock()
 	if err := s.add(name, rt); err != nil {
 		rt.closeRoute()
@@ -299,6 +318,31 @@ func (rt *Route[I, O]) predictError(w http.ResponseWriter, err error) {
 }
 
 func (rt *Route[I, O]) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	// {"artifact": ref} selects the registry-backed deploy path: resolve
+	// and swap in a stored artifact instead of refitting.
+	var req struct {
+		Artifact string `json:"artifact"`
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+	}
+	if req.Artifact != "" {
+		ver, err := rt.DeployArtifact(r.Context(), req.Artifact)
+		if err != nil {
+			httpError(w, stageStatusOf(err), err.Error())
+			return
+		}
+		writeJSON(w, map[string]any{"route": rt.name, "version": ver, "artifact": req.Artifact})
+		return
+	}
 	rt.refitMu.RLock()
 	refit := rt.refit
 	rt.refitMu.RUnlock()
@@ -351,6 +395,9 @@ func (rt *Route[I, O]) versionsValue() []map[string]any {
 			"served":      v.served.Load(),
 			"errors":      v.errs.Load(),
 		}
+		if v.artifact != "" {
+			out[i]["artifact"] = v.artifact
+		}
 	}
 	return out
 }
@@ -390,6 +437,15 @@ func (rt *Route[I, O]) statsValue() map[string]any {
 		out["slo_target_p95_ms"] = durMS(cfg.TargetP95)
 		if cfg.ThroughputFloor > 0 {
 			out["slo_throughput_floor_rps"] = cfg.ThroughputFloor
+		}
+	}
+	if rt.store != nil {
+		out["registry"] = map[string]any{
+			"bound":      true,
+			"tag_errors": rt.tagErrs.Load(),
+		}
+		if v.artifact != "" {
+			out["live_artifact"] = v.artifact
 		}
 	}
 	if rt.adm != nil {

@@ -31,6 +31,7 @@ var ErrRouteClosed = errors.New("serve: route closed")
 type version[I, O any] struct {
 	id       int
 	note     string
+	artifact string // content address in the bound ArtifactStore ("" = not stored)
 	fitted   *keystone.Fitted[I, O]
 	batcher  *keystone.Batcher[I, O]
 	deployed time.Time
@@ -63,7 +64,14 @@ func (rt *Route[I, O]) Deploy(ctx context.Context, fitted *keystone.Fitted[I, O]
 	if rt.canary.Load() != nil {
 		return 0, ErrCanaryActive
 	}
-	return rt.deployLocked(fitted, "deploy"), nil
+	// With an artifact store bound the new version is stored before the
+	// swap: a deploy that cannot be made durable fails loudly with the
+	// old version still serving.
+	art, err := rt.storeFitted(fitted)
+	if err != nil {
+		return 0, err
+	}
+	return rt.deployLocked(fitted, "deploy", art), nil
 }
 
 // Rollback redeploys the artifact of the version that was live before
@@ -87,12 +95,38 @@ func (rt *Route[I, O]) Rollback(ctx context.Context) (int, error) {
 	// merely the previous history entry — aborted canary candidates sit
 	// in the history too and must never be a rollback target.
 	if rt.prevLiveID == 0 {
-		return 0, fmt.Errorf("serve: route %q has no previous version to roll back to", rt.name)
+		// No in-memory predecessor — a freshly restarted process. With an
+		// artifact store bound, the "<route>.previous" tag written by the
+		// pre-restart process still knows what was live before the last
+		// swap, so rollback survives the restart.
+		return rt.rollbackFromStoreLocked()
 	}
 	rt.histMu.RLock()
 	prev := rt.vers[rt.prevLiveID-1]
 	rt.histMu.RUnlock()
-	return rt.deployLocked(prev.fitted, fmt.Sprintf("rollback to v%d", prev.id)), nil
+	return rt.deployLocked(prev.fitted, fmt.Sprintf("rollback to v%d", prev.id), prev.artifact), nil
+}
+
+// rollbackFromStoreLocked redeploys the artifact behind the route's
+// "<route>.previous" tag; caller holds rt.mu.
+func (rt *Route[I, O]) rollbackFromStoreLocked() (int, error) {
+	if rt.store == nil {
+		return 0, fmt.Errorf("serve: route %q has no previous version to roll back to", rt.name)
+	}
+	tag := rt.name + ".previous"
+	id, err := rt.store.Resolve(tag)
+	if err != nil {
+		return 0, fmt.Errorf("serve: route %q has no previous version to roll back to (in memory or under tag %q: %v)", rt.name, tag, err)
+	}
+	data, err := rt.store.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	fitted, err := keystone.Decode[I, O](data)
+	if err != nil {
+		return 0, fmt.Errorf("serve: route %q artifact %s: %w", rt.name, shortID(id), err)
+	}
+	return rt.deployLocked(fitted, "rollback to artifact "+shortID(id), id), nil
 }
 
 // Deploy is the name-addressed form: it resolves the route on the server
@@ -110,10 +144,13 @@ func Deploy[I, O any](ctx context.Context, s *Server, name string, fitted *keyst
 }
 
 // deployLocked builds, publishes and drains; caller holds rt.mu.
-func (rt *Route[I, O]) deployLocked(fitted *keystone.Fitted[I, O], note string) int {
+// artifact is the new version's content address in the bound store ("" =
+// not stored); after the swap the store's live/previous tags follow.
+func (rt *Route[I, O]) deployLocked(fitted *keystone.Fitted[I, O], note, artifact string) int {
 	batch, delay := rt.limits()
 	v := &version[I, O]{
 		note:     note,
+		artifact: artifact,
 		fitted:   fitted,
 		batcher:  keystone.NewBatcher(fitted, batch, delay),
 		deployed: time.Now(),
@@ -124,11 +161,14 @@ func (rt *Route[I, O]) deployLocked(fitted *keystone.Fitted[I, O], note string) 
 	rt.histMu.Unlock()
 
 	old := rt.cur.Swap(v)
+	prevArt := ""
 	if old != nil {
 		rt.prevLiveID = old.id
+		prevArt = old.artifact
 		old.gate.retire()
 		old.batcher.Close()
 	}
+	rt.retagLocked(artifact, prevArt)
 	return v.id
 }
 

@@ -58,8 +58,13 @@ type Batcher[I, O any] struct {
 
 	batches  atomic.Int64
 	records  atomic.Int64
+	failed   atomic.Int64
 	largest  atomic.Int64
 	inflight atomic.Int64
+	// assembling counts requests pulled off reqs into the batch the loop
+	// is currently forming — invisible to len(reqs) but still queued
+	// latency from the caller's perspective.
+	assembling atomic.Int64
 
 	window latWindow
 }
@@ -111,10 +116,14 @@ func (b *Batcher[I, O]) Limits() (int, time.Duration) {
 }
 
 // QueueDepth reports how many requests are queued ahead of batch
-// assembly right now. It is the signal a high-watermark load shedder
-// reads: a persistently deep queue means arrivals outpace the pipeline,
-// and every queued request is latency some caller is already paying.
-func (b *Batcher[I, O]) QueueDepth() int { return len(b.reqs) }
+// assembly right now, including records already pulled into the batch
+// being assembled (they have left the channel but are still waiting).
+// It is the signal a high-watermark load shedder reads: a persistently
+// deep queue means arrivals outpace the pipeline, and every queued
+// request is latency some caller is already paying.
+func (b *Batcher[I, O]) QueueDepth() int {
+	return len(b.reqs) + int(b.assembling.Load())
+}
 
 // Predict runs one record through the pipeline, transparently sharing a
 // batch with concurrent callers. It honors ctx while queued; once its
@@ -154,6 +163,7 @@ func (b *Batcher[I, O]) Close() {
 type BatcherStats struct {
 	Batches      int64 // flushed batches
 	Records      int64 // records served through batches
+	Failed       int64 // records whose batch execution returned an error
 	LargestBatch int64 // largest batch observed
 	InFlight     int64 // requests currently queued or executing
 }
@@ -163,6 +173,7 @@ func (b *Batcher[I, O]) Stats() BatcherStats {
 	return BatcherStats{
 		Batches:      b.batches.Load(),
 		Records:      b.records.Load(),
+		Failed:       b.failed.Load(),
 		LargestBatch: b.largest.Load(),
 		InFlight:     b.inflight.Load(),
 	}
@@ -197,16 +208,19 @@ func (b *Batcher[I, O]) loop() {
 			maxBatch, maxDelay := b.Limits()
 			batch := make([]batchReq[I, O], 1, maxBatch)
 			batch[0] = first
+			b.assembling.Add(1)
 			timer := time.NewTimer(maxDelay)
 		fill:
 			for len(batch) < maxBatch {
 				select {
 				case r := <-b.reqs:
 					batch = append(batch, r)
+					b.assembling.Add(1)
 				case <-timer.C:
 					break fill
 				case <-b.quit:
 					timer.Stop()
+					b.assembling.Add(-int64(len(batch)))
 					b.fail(batch)
 					return
 				}
@@ -215,13 +229,16 @@ func (b *Batcher[I, O]) loop() {
 			// Overlapping flush: take an execution slot (bounding
 			// pipeline concurrency) and run the batch in the
 			// background so assembly of the next batch starts
-			// immediately.
+			// immediately. The batch stays counted as assembling until
+			// handed off — a slot wait is still queued latency.
 			select {
 			case b.flushSlots <- struct{}{}:
 			case <-b.quit:
+				b.assembling.Add(-int64(len(batch)))
 				b.fail(batch)
 				return
 			}
+			b.assembling.Add(-int64(len(batch)))
 			b.wg.Add(1)
 			go func(batch []batchReq[I, O], capacity int) {
 				defer b.wg.Done()
@@ -236,8 +253,11 @@ func (b *Batcher[I, O]) loop() {
 
 // flush executes one batch and fans results back to the waiters.
 // Requests whose callers abandoned ship while queued are dropped before
-// the pipeline runs. capacity is the maxBatch limit the batch was
-// assembled under, for the occupancy observation.
+// the pipeline runs, and the batch executes under a context that stays
+// live only as long as at least one caller does — if every remaining
+// caller disconnects mid-execution, the pipeline work is canceled
+// instead of burning to completion for nobody. capacity is the maxBatch
+// limit the batch was assembled under, for the occupancy observation.
 func (b *Batcher[I, O]) flush(batch []batchReq[I, O], capacity int) {
 	live := batch[:0]
 	for _, r := range batch {
@@ -254,7 +274,9 @@ func (b *Batcher[I, O]) flush(batch []batchReq[I, O], capacity int) {
 	for i, r := range live {
 		recs[i] = r.rec
 	}
-	outs, err := b.fitted.TransformBatch(context.Background(), recs)
+	ctx, cancel := b.batchContext(live)
+	outs, err := b.fitted.TransformBatch(ctx, recs)
+	cancel()
 	b.batches.Add(1)
 	b.records.Add(int64(len(live)))
 	for n := int64(len(live)); ; {
@@ -265,14 +287,52 @@ func (b *Batcher[I, O]) flush(batch []batchReq[I, O], capacity int) {
 	}
 	b.window.observeOccupancy(float64(len(live)) / float64(capacity))
 	now := time.Now()
+	if err != nil {
+		b.failed.Add(int64(len(live)))
+	}
 	for i, r := range live {
+		// Latency is observed on success and failure alike: an erroring
+		// batch still took wall-clock time the SLO tuner must see, or a
+		// run of failures starves the window and tuning stops adapting.
+		b.window.observeLatency(now.Sub(r.enq))
 		if err != nil {
 			r.resp <- batchResp[O]{err: err}
 			continue
 		}
-		b.window.observeLatency(now.Sub(r.enq))
 		r.resp <- batchResp[O]{out: outs[i]}
 	}
+}
+
+// batchContext derives the context a batch executes under from the live
+// requests' contexts: it cancels once every watched caller has gone. A
+// request with a non-cancelable context (Done() == nil) pins the batch
+// alive, so no watchers are spawned at all in that common case.
+func (b *Batcher[I, O]) batchContext(live []batchReq[I, O]) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	watched := 0
+	for _, r := range live {
+		if r.ctx.Done() != nil {
+			watched++
+		}
+	}
+	if watched < len(live) {
+		return ctx, cancel
+	}
+	remaining := new(atomic.Int64)
+	remaining.Store(int64(watched))
+	for _, r := range live {
+		go func(done <-chan struct{}) {
+			select {
+			case <-done:
+				if remaining.Add(-1) == 0 {
+					cancel()
+				}
+			case <-ctx.Done():
+				// Batch finished (or fully abandoned); watcher exits.
+			}
+		}(r.ctx.Done())
+	}
+	return ctx, cancel
 }
 
 // fail rejects a batch that could not be executed because the batcher is

@@ -380,3 +380,195 @@ func TestBatcherQueueDepthAndThroughput(t *testing.T) {
 		t.Errorf("window Throughput = %v after 32 served requests, want > 0", snap.Throughput)
 	}
 }
+
+// TestBatcherErrorPathObservations is the tuner-starvation regression:
+// a failing batch must still feed the latency window (the request took
+// real wall-clock time) and bump the failure counter — previously a run
+// of errors left the window empty and the SLO autotuner blind.
+func TestBatcherErrorPathObservations(t *testing.T) {
+	f := fitFn(t, "echofail", func(x float64) []float64 { return []float64{x} })
+	// A Fitted whose O lies about the pipeline's output type: every
+	// TransformBatch fails the r.(O) assertion, which is exactly the
+	// all-batches-error regime the window must survive.
+	bad := &Fitted[float64, string]{inner: f.inner}
+	b := NewBatcher(bad, 4, time.Millisecond)
+	defer b.Close()
+
+	const n = 6
+	for i := 0; i < n; i++ {
+		if _, err := b.Predict(context.Background(), float64(i)); err == nil {
+			t.Fatal("predict through the type-lying pipeline must error")
+		}
+	}
+	if snap := b.Latency(); snap.Samples != n {
+		t.Fatalf("latency window holds %d samples after %d failed predicts, want %d (error-path starvation)", snap.Samples, n, n)
+	}
+	st := b.Stats()
+	if st.Failed != n {
+		t.Fatalf("Stats().Failed = %d after %d failed records, want %d", st.Failed, n, n)
+	}
+	if st.Records != n {
+		t.Fatalf("Stats().Records = %d, want %d", st.Records, n)
+	}
+}
+
+// TestBatcherBatchContext pins the derived batch context: it cancels
+// once every watched caller is gone, and never cancels while a
+// non-cancelable caller remains.
+func TestBatcherBatchContext(t *testing.T) {
+	f := fitFn(t, "echoctx", func(x float64) []float64 { return []float64{x} })
+	b := NewBatcher(f, 4, time.Millisecond)
+	defer b.Close()
+
+	waitDone := func(ctx context.Context) bool {
+		select {
+		case <-ctx.Done():
+			return true
+		case <-time.After(time.Second):
+			return false
+		}
+	}
+	stillLive := func(ctx context.Context) bool {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(30 * time.Millisecond):
+			return true
+		}
+	}
+
+	t.Run("cancels when all callers leave", func(t *testing.T) {
+		ctx1, cancel1 := context.WithCancel(context.Background())
+		ctx2, cancel2 := context.WithCancel(context.Background())
+		defer cancel2()
+		bctx, cancel := b.batchContext([]batchReq[float64, []float64]{{ctx: ctx1}, {ctx: ctx2}})
+		defer cancel()
+		cancel1()
+		if !stillLive(bctx) {
+			t.Fatal("batch context died while one caller was still live")
+		}
+		cancel2()
+		if !waitDone(bctx) {
+			t.Fatal("batch context did not cancel after every caller left")
+		}
+	})
+
+	t.Run("pinned by a non-cancelable caller", func(t *testing.T) {
+		ctx1, cancel1 := context.WithCancel(context.Background())
+		bctx, cancel := b.batchContext([]batchReq[float64, []float64]{
+			{ctx: ctx1}, {ctx: context.Background()},
+		})
+		defer cancel()
+		cancel1()
+		if !stillLive(bctx) {
+			t.Fatal("batch context canceled despite a non-cancelable caller in the batch")
+		}
+	})
+
+	t.Run("cancel releases watchers", func(t *testing.T) {
+		ctx1, cancel1 := context.WithCancel(context.Background())
+		defer cancel1()
+		bctx, cancel := b.batchContext([]batchReq[float64, []float64]{{ctx: ctx1}})
+		cancel() // the TransformBatch-returned path
+		if !waitDone(bctx) {
+			t.Fatal("explicit cancel did not close the batch context")
+		}
+	})
+}
+
+// TestBatcherAbandonedBatchCancelsPipeline: when every caller of an
+// executing batch disconnects, the derived context must abort the
+// pipeline work instead of burning it to completion for nobody.
+func TestBatcherAbandonedBatchCancelsPipeline(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	f := fitFn(t, "slowpoke", func(x float64) []float64 {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		time.Sleep(2 * time.Millisecond)
+		return []float64{x}
+	})
+	// Large enough that TransformBatch takes the fan-out path, which
+	// checks the context between records; all callers share one context
+	// and abandon together mid-execution.
+	const n = 80
+	b := NewBatcher(f, n, 50*time.Millisecond)
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var canceled atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.Predict(ctx, float64(i)); errors.Is(err, context.Canceled) {
+				canceled.Add(1)
+			}
+		}(i)
+	}
+	<-entered // the batch is executing
+	start := time.Now()
+	cancel()
+	wg.Wait()
+	elapsed := time.Since(start)
+	if canceled.Load() != n {
+		t.Fatalf("%d callers saw Canceled, want %d", canceled.Load(), n)
+	}
+	// 80 records at 2ms each is 160ms of serial work; an aborted batch
+	// unwinds much sooner. The bound is loose to stay robust on slow CI.
+	if elapsed > 120*time.Millisecond {
+		t.Errorf("abandoned batch took %v to unwind, want prompt cancellation", elapsed)
+	}
+}
+
+// TestBatcherQueueDepthCountsAssembly is the under-count regression:
+// requests pulled out of the channel into the forming batch must still
+// show in QueueDepth, or admission's queue watermark misses up to
+// maxBatch-1 waiting requests.
+func TestBatcherQueueDepthCountsAssembly(t *testing.T) {
+	f := fitFn(t, "echodepth", func(x float64) []float64 { return []float64{x} })
+	// Window far longer than the observation loop: the three requests sit
+	// in the forming batch (not the channel) the whole time.
+	b := NewBatcher(f, 8, 300*time.Millisecond)
+	defer b.Close()
+
+	if d := b.QueueDepth(); d != 0 {
+		t.Fatalf("idle QueueDepth = %d, want 0", d)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.Predict(context.Background(), float64(i)); err != nil {
+				t.Errorf("predict: %v", err)
+			}
+		}(i)
+	}
+	// The loop drains the channel into the assembling batch almost
+	// immediately; from then until the window expires the channel is
+	// empty and only the assembling counter can report the three waiters.
+	seen := false
+	deadline := time.Now().Add(250 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if len(b.reqs) == 0 && b.QueueDepth() == 3 {
+			seen = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !seen {
+		t.Fatal("QueueDepth never reported the 3 in-assembly requests (channel-only count)")
+	}
+	wg.Wait()
+	// Settled: assembly handed off and completed, depth returns to zero.
+	deadline = time.Now().Add(time.Second)
+	for time.Now().Before(deadline) && b.QueueDepth() != 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if d := b.QueueDepth(); d != 0 {
+		t.Fatalf("QueueDepth = %d after all requests served, want 0", d)
+	}
+}
