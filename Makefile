@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet staticcheck docs-check bench-smoke bench bench-sched bench-serve bench-canary serve serve-smoke ci
+.PHONY: build test race vet staticcheck docs-check bench-smoke bench bench-sched bench-serve bench-canary bench-dist serve serve-smoke dist-smoke ci
 
 build:
 	$(GO) build ./...
@@ -38,7 +38,7 @@ staticcheck:
 docs-check: vet
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then echo "gofmt -l flags:"; echo "$$out"; exit 1; fi
-	$(GO) run ./cmd/doccheck keystone keystone/serve keystone/registry
+	$(GO) run ./cmd/doccheck keystone keystone/serve keystone/registry keystone/dist
 
 # A short benchmark pass at Quick scale: compiles every benchmark and
 # runs each once, catching bit-rot without CI-hostile runtimes.
@@ -68,6 +68,12 @@ bench-serve:
 bench-canary:
 	$(GO) run ./cmd/keybench -exp canary
 
+# The distributed-fit experiment: measured data-parallel speedup at 1
+# vs 2 workers on a latency-bound pipeline, checked against the
+# extended makespan simulator's ranking; BENCH_dist.json lands in /tmp.
+bench-dist:
+	$(GO) run ./cmd/keybench -exp dist -benchout /tmp/keystone-bench
+
 # The HTTP inference server (trains text + vision pipelines at startup).
 serve:
 	$(GO) run ./cmd/keyserve -routes text,vision
@@ -79,4 +85,12 @@ serve:
 serve-smoke:
 	$(GO) run ./cmd/servesmoke
 
-ci: docs-check build race bench-smoke serve-smoke
+# End-to-end cluster smoke: builds keyworker, boots a coordinator plus
+# two real worker processes, fits distributed (bit-identical to the
+# single-process oracle), ships an artifact to both serving replicas,
+# routes predictions through the consistent-hash router, pushes rollout
+# state, kills one worker and verifies degraded-but-serving.
+dist-smoke:
+	$(GO) run ./cmd/distsmoke
+
+ci: docs-check build race bench-smoke serve-smoke dist-smoke

@@ -7,7 +7,10 @@
 //	keybench -scale full     # larger sizes, sharper ratios
 //
 // Experiments: table1 fig6 table2 fig7 costmodel table3 table5 fig8
-// table6 fig9 fig10 fig11 fig12 parallel sched.
+// table6 fig9 fig10 fig11 fig12 parallel sched serve canary dist.
+//
+// With -benchout DIR each experiment additionally writes its headline
+// numbers as DIR/BENCH_<name>.json for machine consumption.
 package main
 
 import (
@@ -20,7 +23,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig6, table2, fig7, costmodel, table3, table5, fig8, table6, fig9, fig10, fig11, fig12, parallel, sched, serve, canary)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig6, table2, fig7, costmodel, table3, table5, fig8, table6, fig9, fig10, fig11, fig12, parallel, sched, serve, canary, dist)")
+	benchOut := flag.String("benchout", "", "directory for machine-readable BENCH_*.json results (empty = off)")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	flag.Parse()
 
@@ -28,6 +32,7 @@ func main() {
 	if strings.EqualFold(*scaleFlag, "full") {
 		scale = experiments.Full
 	}
+	experiments.SetBenchDir(*benchOut)
 	w := os.Stdout
 
 	runners := []struct {
@@ -51,6 +56,7 @@ func main() {
 		{"sched", func() { experiments.SchedulePlanExp(w, scale) }},
 		{"serve", func() { experiments.ServeAutotune(w, scale) }},
 		{"canary", func() { experiments.ServeCanary(w, scale) }},
+		{"dist", func() { experiments.DistFit(w, scale) }},
 	}
 
 	ran := false

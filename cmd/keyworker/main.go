@@ -1,0 +1,69 @@
+// keyworker is one keystone/dist worker process: it holds partitions of
+// distributed collections, executes the coordinator's wire ops against
+// them (load / apply / zip / fetch / free), and — when -http is set —
+// hosts a serve.Server replica that serving routes are registered onto
+// by shipping a registry artifact id over the wire.
+//
+// Run a 3-worker cluster on one machine:
+//
+//	keyworker -listen 127.0.0.1:7101 -http 127.0.0.1:7201 -registry ./reg &
+//	keyworker -listen 127.0.0.1:7102 -http 127.0.0.1:7202 -registry ./reg &
+//	keyworker -listen 127.0.0.1:7103 -http 127.0.0.1:7203 -registry ./reg &
+//
+// and point a dist.Connect coordinator at the three -listen addresses.
+// The "text" serve kind (Fitted[string, []float64] behind
+// serve.TextCodec, the Figure 2 pipeline shape) is pre-registered;
+// binaries embedding dist.StartWorker register their own kinds with
+// dist.RegisterServeKind.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"keystoneml/keystone/dist"
+	"keystoneml/keystone/serve"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7101", "wire-protocol listen address")
+	httpAddr := flag.String("http", "", "serving replica listen address (empty = fit-only worker)")
+	registryDir := flag.String("registry", "", "artifact registry directory backing serve ops")
+	parallelism := flag.Int("parallelism", 1, "partition-level parallelism inside this worker")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("keyworker: ")
+
+	dist.RegisterServeKind("text", func(srv *serve.Server, store serve.ArtifactStore, route, ref string) error {
+		_, err := serve.RegisterArtifact[string, []float64](srv, route, store, ref,
+			serve.TextCodec{Labels: []string{"negative", "positive"}})
+		return err
+	})
+
+	w, err := dist.StartWorker(dist.WorkerOptions{
+		Listen:      *listen,
+		HTTPListen:  *httpAddr,
+		RegistryDir: *registryDir,
+		Parallelism: *parallelism,
+	})
+	if err != nil {
+		log.Fatalf("FAIL: %v", err)
+	}
+	if w.HTTPAddr() != "" {
+		log.Printf("wire %s, replica %s", w.Addr(), w.HTTPAddr())
+	} else {
+		log.Printf("wire %s (fit-only)", w.Addr())
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		log.Print("shutting down")
+		w.Close()
+	}()
+	w.Wait()
+}

@@ -60,6 +60,19 @@ func Local(nodes int) Resources {
 	}
 }
 
+// Loopback returns a descriptor for n keystone/dist worker processes on
+// the local host: partitions cross a real process boundary (gob over a
+// loopback TCP socket) rather than sharing memory, so network bandwidth
+// is the measured loopback codec throughput and stage latency is an RPC
+// round-trip — orders of magnitude above Local's goroutine fork/join but
+// far below a real cluster's scheduler delay.
+func Loopback(workers int) Resources {
+	r := Local(workers)
+	r.NetBandwidthGB = 2       // gob encode + loopback + decode
+	r.StageLatencySec = 300e-6 // framed RPC round-trip
+	return r
+}
+
 // Validate reports an error if the descriptor is not usable.
 func (r Resources) Validate() error {
 	switch {

@@ -388,7 +388,7 @@ func (e *Executor) localCompute(n *Node, ins []*engine.Collection) *engine.Colle
 		start := time.Now()
 		out := gathered[0]
 		for i := 1; i < len(gathered); i++ {
-			out = e.ctx.Zip(out, gathered[i], concatFeatures)
+			out = e.ctx.Zip(out, gathered[i], ConcatFeatures)
 		}
 		e.addTime(n, time.Since(start))
 		return out
@@ -540,7 +540,10 @@ func (e *Executor) subtreeTime(n *Node) time.Duration {
 	return total
 }
 
-func concatFeatures(a, b any) any {
+// ConcatFeatures is the gather join: element-wise concatenation of two
+// []float64 feature records. Exported so distributed workers apply the
+// exact same join the local executor and the fitted apply path use.
+func ConcatFeatures(a, b any) any {
 	x, ok1 := a.([]float64)
 	y, ok2 := b.([]float64)
 	if !ok1 || !ok2 {

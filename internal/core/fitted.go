@@ -119,7 +119,7 @@ func (f *Fitted) applyWith(ctx *engine.Context, data *engine.Collection) *engine
 		case KindGather:
 			out = eval(n.Deps[0])
 			for _, d := range n.Deps[1:] {
-				out = ctx.Zip(out, eval(d), concatFeatures)
+				out = ctx.Zip(out, eval(d), ConcatFeatures)
 			}
 		case KindApplyModel:
 			model, ok := f.models[n.Deps[0].ID]
@@ -151,7 +151,7 @@ func (f *Fitted) TransformOne(record any) any {
 		case KindGather:
 			out := vals[st.deps[0]]
 			for _, d := range st.deps[1:] {
-				out = concatFeatures(out, vals[d])
+				out = ConcatFeatures(out, vals[d])
 			}
 			vals[i] = out
 		case KindLabels:

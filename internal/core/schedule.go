@@ -67,6 +67,11 @@ type SchedulePlan struct {
 	// cached node's output is computed once and served from memory
 	// afterwards.
 	Cached map[int]bool
+	// Dist, when non-nil, switches Makespan to the distributed-time
+	// simulation (network transfer + stage launch latency under the
+	// keystone/dist coordinator); see schedule_dist.go. Attach it with
+	// WithDist. Nil models local execution exactly as before.
+	Dist *DistModel
 
 	structural bool
 	priority   map[int]float64
@@ -245,6 +250,9 @@ func (p *SchedulePlan) refetchSet(est *Node) []int {
 // width, and within-pass coalescing follows the pass plan rather than
 // live single-flight timing.
 func (p *SchedulePlan) Makespan() float64 {
+	if p.Dist != nil {
+		return p.distTime()
+	}
 	if p.Workers <= 1 {
 		return p.sequentialTime()
 	}

@@ -1,0 +1,130 @@
+package core
+
+// This file extends the SchedulePlan's makespan simulation with the
+// network/shuffle and stage-launch-latency terms of the paper's Section 3
+// cluster model — the terms the local simulator ignores because local
+// passes never cross a process boundary. A DistModel describes execution
+// under the keystone/dist coordinator: transforms run data-parallel
+// across W worker processes (each dispatch pays one stage launch),
+// estimator fits run on the coordinator and pay network transfer to pull
+// their input partitions back, and the coordinator memoizes fetched
+// collections for materialized datasets so a pinned solver input crosses
+// the wire once instead of once per pass. Attaching a DistModel is what
+// keeps cache and dispatch decisions cost-model-driven off-box: the
+// greedy materialization planner calls Makespan per candidate, so with a
+// DistModel attached it weighs network round-trips, not just recompute.
+
+// DistModel parameterizes the distributed-time simulation. Build one
+// from a cluster.Resources descriptor (NetSecPerByte from CoordWeight,
+// StageLatencySec from the per-stage launch latency) and a profile's
+// per-node output sizes.
+type DistModel struct {
+	// Workers is the number of worker processes holding data partitions;
+	// values <= 1 model a single remote worker (dispatch latency and
+	// fetch transfer still apply, compute does not shrink).
+	Workers int
+	// StageLatencySec is charged once per remote dispatch (the paper's
+	// per-stage launch latency; an RPC round-trip for keystone/dist).
+	StageLatencySec float64
+	// NetSecPerByte converts bytes crossing the coordinator⇄worker
+	// boundary to seconds (cluster.Resources.CoordWeight).
+	NetSecPerByte float64
+	// OutBytes holds the profiled full-data output size of each node,
+	// charged when an estimator fetch pulls that node's partitions to
+	// the coordinator. Missing entries transfer for free.
+	OutBytes map[int]int64
+}
+
+// workerCount clamps the modeled process count.
+func (d *DistModel) workerCount() float64 {
+	if d.Workers <= 1 {
+		return 1
+	}
+	return float64(d.Workers)
+}
+
+// WithDist attaches a distributed cost model to the plan and returns the
+// plan; Makespan then simulates distributed time. A nil model restores
+// the local simulation. Like the other plan inputs the model is
+// retained, not copied.
+func (p *SchedulePlan) WithDist(d *DistModel) *SchedulePlan {
+	p.Dist = d
+	return p
+}
+
+// distTime mirrors the keystone/dist coordinator's demand recursion the
+// way sequentialTime mirrors the local oracle: the coordinator walks the
+// DAG sequentially, but each transform/gather/apply dispatch runs
+// data-parallel over W workers (local time ÷ W, plus one stage launch),
+// and each estimator fit pass pays the network transfer of its input
+// unless the coordinator already holds a fetched copy of a materialized
+// dataset. Worker-side materialization semantics are unchanged from the
+// sequential oracle: an unmaterialized node recomputes per demand, a
+// pinned node computes once.
+func (p *SchedulePlan) distTime() float64 {
+	w := p.Dist.workerCount()
+	mat := make(map[int]bool)
+	fitted := make(map[int]bool)
+	// coordFetched marks materialized datasets whose partitions the
+	// coordinator has already pulled and cached locally; later fetch
+	// passes of the same input are free.
+	coordFetched := make(map[int]bool)
+
+	remote := func(n *Node) float64 {
+		return p.timeOf(n)/w + p.Dist.StageLatencySec
+	}
+	var demand func(n *Node) float64
+	var fit func(n *Node) float64
+	demand = func(n *Node) float64 {
+		if mat[n.ID] {
+			return 0
+		}
+		var d float64
+		switch n.Kind {
+		case KindSource, KindLabels:
+			return p.timeOf(n) // shipped/bound before the walk starts
+		case KindTransform:
+			d = demand(n.Deps[0]) + remote(n)
+		case KindGather:
+			for _, dep := range n.Deps {
+				d += demand(dep)
+			}
+			// The coordinator zips branch pairs successively: one remote
+			// dispatch per joined branch beyond the first.
+			d += p.timeOf(n)/w + float64(max(1, len(n.Deps)-1))*p.Dist.StageLatencySec
+		case KindApplyModel:
+			d = fit(n.Deps[0]) + demand(n.Deps[1]) + remote(n)
+		default:
+			panic("core: dist simulation demanded non-data node")
+		}
+		if p.Cached[n.ID] {
+			mat[n.ID] = true
+		}
+		return d
+	}
+	fetch := func(dep *Node) float64 {
+		if coordFetched[dep.ID] {
+			return 0
+		}
+		d := demand(dep) + float64(p.Dist.OutBytes[dep.ID])*p.Dist.NetSecPerByte + p.Dist.StageLatencySec
+		if p.Cached[dep.ID] {
+			coordFetched[dep.ID] = true
+		}
+		return d
+	}
+	fit = func(n *Node) float64 {
+		if fitted[n.ID] {
+			return 0
+		}
+		fitted[n.ID] = true
+		// The fit itself runs on the coordinator at local speed; each of
+		// its Weight() passes pulls the input across the wire unless a
+		// fetched copy of a pinned dataset is already held.
+		d := p.timeOf(n) + steadyFetches(n.Weight(), func() float64 { return fetch(n.Deps[0]) })
+		if len(n.Deps) > 1 {
+			d += demand(n.Deps[1]) // labels stay coordinator-local
+		}
+		return d
+	}
+	return demand(p.g.Sink)
+}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -204,4 +206,108 @@ func TestMapIdentityProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
 	}
+}
+
+func TestFromPartitionsEdgeCases(t *testing.T) {
+	// No partitions at all: normalized to one empty partition so
+	// downstream code (executors, dist fetch reassembly) never divides
+	// by or iterates over zero partitions.
+	empty := FromPartitions(nil)
+	if empty.NumPartitions() != 1 || empty.Count() != 0 {
+		t.Errorf("nil parts: parts=%d count=%d, want 1/0", empty.NumPartitions(), empty.Count())
+	}
+	if got := empty.Collect(); len(got) != 0 {
+		t.Errorf("nil parts Collect = %v, want empty", got)
+	}
+
+	// A mix of nil and empty inner partitions is preserved as-is (the
+	// dist layer round-trips partition structure, so normalizing here
+	// would silently change lineage) and every primitive tolerates it.
+	ctx := NewContext(2)
+	c := FromPartitions([][]any{nil, {1, 2}, {}, {3}})
+	if c.NumPartitions() != 4 || c.Count() != 3 {
+		t.Fatalf("mixed parts: parts=%d count=%d, want 4/3", c.NumPartitions(), c.Count())
+	}
+	doubled := ctx.Map(c, func(x any) any { return x.(int) * 2 })
+	if doubled.NumPartitions() != 4 {
+		t.Errorf("Map changed partitioning: %d", doubled.NumPartitions())
+	}
+	if got := doubled.Collect(); len(got) != 3 || got[0].(int) != 2 || got[2].(int) != 6 {
+		t.Errorf("Map over mixed parts = %v", got)
+	}
+	sum := ctx.Aggregate(c,
+		func() any { return 0 },
+		func(acc, item any) any { return acc.(int) + item.(int) },
+		func(a, b any) any { return a.(int) + b.(int) },
+	)
+	if sum.(int) != 6 {
+		t.Errorf("Aggregate over mixed parts = %v, want 6", sum)
+	}
+	if got := c.Take(2); len(got) != 2 || got[0].(int) != 1 {
+		t.Errorf("Take over mixed parts = %v", got)
+	}
+}
+
+func TestSingleRecordHighPartitionCount(t *testing.T) {
+	// A single-record collection requested at an absurd partition count
+	// (keystone's WithPartitions forwards straight to FromSlice) clamps
+	// to one partition rather than manufacturing empty shards.
+	c := FromSlice(ints(1), 1024)
+	if c.NumPartitions() != 1 {
+		t.Fatalf("partitions = %d, want 1", c.NumPartitions())
+	}
+	if c.Count() != 1 || c.Collect()[0].(int) != 0 {
+		t.Fatalf("record lost: count=%d", c.Count())
+	}
+	// Everything downstream still works on the degenerate shape.
+	ctx := NewContext(4)
+	out := ctx.MapPartitions(c, func(p []any) []any { return append([]any{}, p...) })
+	if out.Count() != 1 {
+		t.Errorf("MapPartitions count = %d, want 1", out.Count())
+	}
+	if s := c.Sample(10); s.Count() != 1 {
+		t.Errorf("oversample of single record = %d, want 1", s.Count())
+	}
+}
+
+func TestCancellationMidAggregate(t *testing.T) {
+	// Cancel from inside a partition fold: the typed *Canceled sentinel
+	// must surface (not a generic worker panic), and partitions not yet
+	// dispatched must be skipped.
+	cctx, cancel := context.WithCancel(context.Background())
+	ctx := NewContext(1).WithCancellation(cctx)
+	c := FromSlice(ints(64), 16)
+	var folded int64
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected cancellation panic from Aggregate")
+		}
+		canceled, ok := AsCanceled(r)
+		if !ok {
+			t.Fatalf("recovered %v, want *Canceled", r)
+		}
+		if !errors.Is(canceled, context.Canceled) {
+			t.Errorf("Unwrap chain does not reach context.Canceled: %v", canceled)
+		}
+		// Parallelism 1 and cancellation checked between dispatches:
+		// after the cancel lands at most the in-flight partition and one
+		// more can fold.
+		if n := atomic.LoadInt64(&folded); n > 8 {
+			t.Errorf("folded %d records after cancel, want early stop", n)
+		}
+	}()
+	ctx.Aggregate(c,
+		func() any { return 0 },
+		func(acc, item any) any {
+			if item.(int) == 2 {
+				cancel()
+				ctx.CheckCanceled()
+			}
+			atomic.AddInt64(&folded, 1)
+			return acc.(int) + item.(int)
+		},
+		func(a, b any) any { return a.(int) + b.(int) },
+	)
+	t.Fatal("Aggregate returned despite cancellation")
 }

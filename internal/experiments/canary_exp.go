@@ -28,8 +28,10 @@ import (
 //     the overload is reported as a shed rate instead of as latency.
 func ServeCanary(w io.Writer, scale Scale) {
 	header(w, "Canary containment and admission control under overload")
-	canaryPhase(w, scale)
-	overloadPhase(w, scale)
+	payload := map[string]any{}
+	canaryPhase(w, scale, payload)
+	overloadPhase(w, scale, payload)
+	emitBench("canary", payload)
 }
 
 // markedPipeline fits a float64 -> [mark, x] pipeline with a fixed
@@ -49,7 +51,7 @@ func markedPipeline(w io.Writer, mark float64, delay time.Duration) *keystone.Fi
 	return f
 }
 
-func canaryPhase(w io.Writer, scale Scale) {
+func canaryPhase(w io.Writer, scale Scale, payload map[string]any) {
 	const (
 		primarySvc  = time.Millisecond
 		degradedSvc = 15 * time.Millisecond // the "bad push": 15x the service time
@@ -127,9 +129,17 @@ func canaryPhase(w io.Writer, scale Scale) {
 		measured, fraction, float64(stats.CandidateP95)/float64(max(1, int64(stats.PrimaryP95))), degradationVisible)
 	fmt.Fprintf(w, "aborted with %d/%d failed requests during stage+observe+abort\n\n",
 		failures.Load(), requests.Load())
+	payload["canary"] = map[string]any{
+		"measured_fraction":     measured,
+		"target_fraction":       fraction,
+		"primary_p95_sec":       stats.PrimaryP95.Seconds(),
+		"candidate_p95_sec":     stats.CandidateP95.Seconds(),
+		"degradation_visible":   degradationVisible,
+		"failed_during_rollout": failures.Load(),
+	}
 }
 
-func overloadPhase(w io.Writer, scale Scale) {
+func overloadPhase(w io.Writer, scale Scale, payload map[string]any) {
 	const (
 		svcTime   = 2 * time.Millisecond // 1-record batches => capacity ~ overlap/svc
 		sloP95    = 60 * time.Millisecond
@@ -217,6 +227,10 @@ func overloadPhase(w io.Writer, scale Scale) {
 		fmt.Fprintf(w, "%-12s %10d %10d %12s %12s %10s\n",
 			name, served.Load(), shed.Load(),
 			p50.Round(100*time.Microsecond), p95.Round(100*time.Microsecond), held)
+		payload["overload_"+name] = map[string]any{
+			"served": served.Load(), "shed": shed.Load(),
+			"p50_sec": p50.Seconds(), "p95_sec": p95.Seconds(), "slo_held": held == "yes",
+		}
 		if other.Load() > 0 {
 			fmt.Fprintf(w, "  (%d requests timed out or failed)\n", other.Load())
 		}

@@ -8,8 +8,11 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"time"
 
 	"keystoneml/internal/core"
@@ -27,6 +30,37 @@ const (
 	// Full is the report-quality scale.
 	Full
 )
+
+// benchDir, when set, makes experiments additionally write their
+// headline numbers as BENCH_<name>.json files there (keybench -benchout),
+// so CI and regression tooling can consume measurements without parsing
+// the human-readable tables.
+var benchDir string
+
+// SetBenchDir selects where BENCH_*.json files are written ("" disables
+// emission, the default).
+func SetBenchDir(dir string) { benchDir = dir }
+
+// emitBench writes one experiment's machine-readable result. Emission is
+// best-effort: a failure warns on stderr but never fails the experiment.
+func emitBench(name string, payload any) {
+	if benchDir == "" {
+		return
+	}
+	if err := os.MkdirAll(benchDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "bench emit %s: %v\n", name, err)
+		return
+	}
+	b, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench emit %s: %v\n", name, err)
+		return
+	}
+	path := filepath.Join(benchDir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench emit %s: %v\n", name, err)
+	}
+}
 
 // timeIt measures fn's wall time.
 func timeIt(fn func()) time.Duration {

@@ -1,0 +1,135 @@
+// Distributed-fit experiment: measured data-parallel speedup of a real
+// keystone/dist fit over worker processes, checked against the extended
+// makespan simulator's worker-count ranking. The workload is
+// latency-bound by construction (a fixed per-record sleep, one
+// partition-slot per worker) because the CI host exposes a single CPU:
+// wall-clock speedup must come from genuinely concurrent workers, not
+// from scheduling artifacts, and a sleep is the one per-record cost that
+// parallelizes perfectly on any core count.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"keystoneml/keystone"
+	"keystoneml/keystone/dist"
+)
+
+// distSleep is the per-record latency of the synthetic stage. The op is
+// registered by name so it can cross the dist wire (operators ship as
+// persistable state, and a named stateless op is its own state).
+const distSleep = 3 * time.Millisecond
+
+func init() {
+	keystone.RegisterStatelessOp("exp.dist.sleep3ms", func(x []float64) []float64 {
+		time.Sleep(distSleep)
+		return x
+	})
+}
+
+// distBenchRow is one worker-count configuration's outcome.
+type distBenchRow struct {
+	Workers    int     `json:"workers"`
+	TrainSec   float64 `json:"train_sec"`
+	ModeledSec float64 `json:"modeled_sec"`
+}
+
+// distBench is the BENCH_dist.json payload.
+type distBench struct {
+	Records     int            `json:"records"`
+	Partitions  int            `json:"partitions"`
+	Rows        []distBenchRow `json:"rows"`
+	Speedup     float64        `json:"speedup"`
+	RankMatches bool           `json:"simulator_rank_matches"`
+}
+
+// distFitAt runs one distributed fit over n in-process workers (real TCP
+// loopback wire, per-worker parallelism 1) and returns the fit report.
+func distFitAt(n int, records []([]float64), labels [][]float64, partitions, iters int) (*dist.Report, error) {
+	workers := make([]*dist.Worker, n)
+	addrs := make([]string, n)
+	for i := range workers {
+		w, err := dist.StartWorker(dist.WorkerOptions{Listen: "127.0.0.1:0", Parallelism: 1})
+		if err != nil {
+			return nil, err
+		}
+		defer w.Close()
+		workers[i] = w
+		addrs[i] = w.Addr()
+	}
+	cl, err := dist.Connect(addrs...)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	p := keystone.ThenEstimator(
+		keystone.Then(keystone.Input[[]float64](), keystone.NewOp("exp.dist.sleep3ms", func(x []float64) []float64 {
+			time.Sleep(distSleep)
+			return x
+		})),
+		keystone.LinearSolver(iters))
+	_, rep, err := dist.Fit(context.Background(), cl, p, records, labels, dist.FitOptions{
+		Level:       keystone.LevelPipeline,
+		SampleSizes: [2]int{4, 8},
+		Partitions:  partitions,
+	})
+	return rep, err
+}
+
+// DistFit measures a distributed fit of a latency-bound pipeline at 1
+// and 2 workers and checks the extended simulator (network + stage
+// latency terms) ranks the worker counts the same way the measurements
+// do. Expected shape: near-2x measured speedup, and the simulator's
+// modeled makespan ordering matches the measured ordering.
+func DistFit(w io.Writer, scale Scale) {
+	header(w, "Distributed fit: measured speedup vs extended-simulator ranking")
+
+	records, partitions, iters := 24, 4, 2
+	if scale == Full {
+		records, partitions = 48, 8
+	}
+	recs := make([][]float64, records)
+	labels := make([][]float64, records)
+	for i := range recs {
+		recs[i] = []float64{float64(i), float64(i % 3)}
+		labels[i] = []float64{float64(i % 2), float64((i + 1) % 2)}
+	}
+
+	fmt.Fprintf(w, "workload: %d records x %v sleep, %d partitions, solver %d passes\n\n",
+		records, distSleep, partitions, iters)
+	fmt.Fprintf(w, "%8s %12s %12s %8s\n", "workers", "train", "modeled", "speedup")
+
+	bench := distBench{Records: records, Partitions: partitions}
+	var trains []float64
+	var modeled []float64
+	for _, n := range []int{1, 2} {
+		rep, err := distFitAt(n, recs, labels, partitions, iters)
+		if err != nil {
+			fmt.Fprintf(w, "dist fit at %d workers: %v\n", n, err)
+			return
+		}
+		trains = append(trains, rep.TrainTime.Seconds())
+		modeled = append(modeled, rep.ModeledMakespan)
+		bench.Rows = append(bench.Rows, distBenchRow{
+			Workers: n, TrainSec: rep.TrainTime.Seconds(), ModeledSec: rep.ModeledMakespan,
+		})
+		speedup := ""
+		if n > 1 {
+			speedup = fmt.Sprintf("%7.2fx", trains[0]/rep.TrainTime.Seconds())
+		}
+		fmt.Fprintf(w, "%8d %11.3fs %11.4fs %8s\n", n, rep.TrainTime.Seconds(), rep.ModeledMakespan, speedup)
+	}
+
+	bench.Speedup = trains[0] / trains[1]
+	bench.RankMatches = (modeled[1] < modeled[0]) == (trains[1] < trains[0])
+	verdict := "matches"
+	if !bench.RankMatches {
+		verdict = "DISAGREES WITH"
+	}
+	fmt.Fprintf(w, "\nmeasured speedup %.2fx; simulator ranking %s measured ordering\n", bench.Speedup, verdict)
+	emitBench("dist", bench)
+}

@@ -108,6 +108,14 @@ func ParallelExec(w io.Writer, scale Scale) {
 	if scale == Full {
 		records, iters = 16, 5
 	}
+	type parRow struct {
+		Pipeline string  `json:"pipeline"`
+		SeqSec   float64 `json:"sequential_sec"`
+		ParSec   float64 `json:"parallel_sec"`
+		Speedup  float64 `json:"speedup"`
+	}
+	var benchRows []parRow
+
 	fmt.Fprintf(w, "\n%-28s %10s %10s %10s\n", "fanout pipeline", "sequential", "parallel", "speedup")
 	for _, k := range []int{2, 4, 8} {
 		cfg := FanoutConfig{
@@ -118,6 +126,11 @@ func ParallelExec(w io.Writer, scale Scale) {
 		par := runFanout(cfg, k)
 		fmt.Fprintf(w, "%-28s %10s %10s %9.1fx\n",
 			fmt.Sprintf("%d branches (latency-bound)", k), secs(seq), secs(par), seq.Seconds()/par.Seconds())
+		benchRows = append(benchRows, parRow{
+			Pipeline: fmt.Sprintf("fanout-%d", k),
+			SeqSec:   seq.Seconds(), ParSec: par.Seconds(),
+			Speedup: seq.Seconds() / par.Seconds(),
+		})
 	}
 
 	// The real two-branch vision pipeline, CPU-bound: speedup here is
@@ -136,4 +149,10 @@ func ParallelExec(w io.Writer, scale Scale) {
 	seq := runVOC(1)
 	par := runVOC(4)
 	fmt.Fprintf(w, "%-28s %10s %10s %9.1fx\n", "VOC+LCS (CPU-bound)", secs(seq), secs(par), seq.Seconds()/par.Seconds())
+	benchRows = append(benchRows, parRow{
+		Pipeline: "voc-lcs",
+		SeqSec:   seq.Seconds(), ParSec: par.Seconds(),
+		Speedup: seq.Seconds() / par.Seconds(),
+	})
+	emitBench("parallel", benchRows)
 }

@@ -162,6 +162,18 @@ func SchedulePlanExp(w io.Writer, scale Scale) {
 	}
 	const budget = 50 // exactly one 50-unit node
 
+	type schedRow struct {
+		Shape      string  `json:"shape"`
+		SeqPins    string  `json:"sequential_pins"`
+		MkPins     string  `json:"makespan_pins"`
+		SeqEstSec  float64 `json:"sequential_est_sec"`
+		MkEstSec   float64 `json:"makespan_est_sec"`
+		SeqMeasSec float64 `json:"sequential_measured_sec"`
+		MkMeasSec  float64 `json:"makespan_measured_sec"`
+		Speedup    float64 `json:"speedup"`
+	}
+	var benchRows []schedRow
+
 	fmt.Fprintf(w, "%-16s %-12s %-22s %10s %10s %8s\n",
 		"shape", "model", "pin set", "est", "measured", "speedup")
 	for _, s := range shapes {
@@ -187,6 +199,14 @@ func SchedulePlanExp(w io.Writer, scale Scale) {
 		fmt.Fprintf(w, "%-16s %-12s %-22s %9.3fs %9.3fs %7.2fx\n",
 			"", "makespan", pinNames(prof, mkSet), cost(mkSet), tMk.Seconds(),
 			tSeq.Seconds()/tMk.Seconds())
+		benchRows = append(benchRows, schedRow{
+			Shape:   s.name,
+			SeqPins: pinNames(prof, seqSet), MkPins: pinNames(prof, mkSet),
+			SeqEstSec: cost(seqSet), MkEstSec: cost(mkSet),
+			SeqMeasSec: tSeq.Seconds(), MkMeasSec: tMk.Seconds(),
+			Speedup: tSeq.Seconds() / tMk.Seconds(),
+		})
 	}
+	emitBench("sched", benchRows)
 	fmt.Fprintf(w, "\n(equal budget per shape; 'est' is the makespan model's own estimate\nof each pin set at %d workers — the sequential model mis-ranks the sets\nit cannot distinguish by wall-clock)\n", shapes[0].workers)
 }

@@ -52,6 +52,17 @@ func ServeAutotune(w io.Writer, scale Scale) {
 		docs, features, clients, loadFor, targetP95)
 	fmt.Fprintf(w, "%-10s %18s %12s %10s %10s %8s\n", "config", "final (batch,delay)", "batches", "p50", "p95", "SLO met")
 
+	type serveRow struct {
+		Config     string  `json:"config"`
+		FinalBatch int     `json:"final_batch"`
+		FinalDelay string  `json:"final_delay"`
+		Batches    int64   `json:"batches"`
+		P50Sec     float64 `json:"p50_sec"`
+		P95Sec     float64 `json:"p95_sec"`
+		SLOMet     bool    `json:"slo_met"`
+	}
+	var benchRows []serveRow
+
 	for _, tuned := range []bool{false, true} {
 		s := serve.NewServer()
 		opts := []serve.RouteOption{serve.WithBatchLimits(staticBatch, staticDelay)}
@@ -117,8 +128,13 @@ func ServeAutotune(w io.Writer, scale Scale) {
 		fmt.Fprintf(w, "%-10s %10d, %-8s %12d %10s %10s %8s\n",
 			name, b, d.Round(10*time.Microsecond), st.batches,
 			p50.Round(10*time.Microsecond), p95.Round(10*time.Microsecond), met)
+		benchRows = append(benchRows, serveRow{
+			Config: name, FinalBatch: b, FinalDelay: d.String(), Batches: st.batches,
+			P50Sec: p50.Seconds(), P95Sec: p95.Seconds(), SLOMet: met == "yes",
+		})
 		s.Close()
 	}
+	emitBench("serve", benchRows)
 	fmt.Fprintln(w, "\nThe static 60ms window pins p95 near 60ms; the autotuner's multiplicative")
 	fmt.Fprintln(w, "backoff pulls the window down until the observed p95 sits under the SLO,")
 	fmt.Fprintln(w, "then spends any remaining headroom growing the batch again.")

@@ -141,8 +141,11 @@ type setCost struct {
 	work float64 // EstRuntime: sequential total work
 }
 
-func costOf(g *core.Graph, prof *Profile, cached map[int]bool, workers int) setCost {
+func costOf(g *core.Graph, prof *Profile, cached map[int]bool, workers int, dist *core.DistModel) setCost {
 	work := EstRuntime(g, prof, cached)
+	if dist != nil {
+		return setCost{wall: EstCostDist(g, prof, cached, dist), work: work}
+	}
 	if workers <= 1 {
 		return setCost{wall: work, work: work}
 	}
@@ -167,9 +170,22 @@ func (c setCost) improves(best setCost) bool {
 // fitting in the remaining memory, until no node improves the estimate
 // or memory is exhausted. memBudget <= 0 means unlimited.
 func GreedyCacheSet(g *core.Graph, prof *Profile, memBudget int64, workers int) []int {
+	return greedyCacheSet(g, prof, memBudget, workers, nil)
+}
+
+// GreedyCacheSetDist is GreedyCacheSet under a distributed cost model:
+// candidates are ranked by the dist-time makespan (network transfer and
+// stage launches included), so the planner pins the datasets whose
+// round-trips across the coordinator⇄worker boundary cost the most, not
+// just the ones costing the most recompute.
+func GreedyCacheSetDist(g *core.Graph, prof *Profile, memBudget int64, dist *core.DistModel) []int {
+	return greedyCacheSet(g, prof, memBudget, 1, dist)
+}
+
+func greedyCacheSet(g *core.Graph, prof *Profile, memBudget int64, workers int, dist *core.DistModel) []int {
 	cached := make(map[int]bool)
 	memLeft := memBudget
-	current := costOf(g, prof, cached, workers)
+	current := costOf(g, prof, cached, workers, dist)
 	var result []int
 	candidates := cacheCandidates(g, prof)
 	for {
@@ -184,7 +200,7 @@ func GreedyCacheSet(g *core.Graph, prof *Profile, memBudget int64, workers int) 
 				continue
 			}
 			cached[id] = true
-			c := costOf(g, prof, cached, workers)
+			c := costOf(g, prof, cached, workers, dist)
 			delete(cached, id)
 			if c.improves(bestCost) {
 				best = id

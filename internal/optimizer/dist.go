@@ -1,0 +1,49 @@
+package optimizer
+
+import (
+	"keystoneml/internal/cluster"
+	"keystoneml/internal/core"
+)
+
+// This file connects the materialization planner to the distributed cost
+// model: keystone/dist fits run the same optimizer as local fits, but
+// cost cache candidates with the dist-time makespan (schedule_dist.go),
+// whose network-transfer and stage-launch terms come from the cluster
+// resource descriptor and the profile's per-node output sizes.
+
+// DistModelFor builds the distributed cost model for a profiled graph
+// executing over `workers` worker processes described by res: stage
+// launch latency straight from the descriptor, network seconds-per-byte
+// from its coordinator weight, and per-node transfer sizes from the
+// profile's full-data output estimates.
+func DistModelFor(prof *Profile, res cluster.Resources, workers int) *core.DistModel {
+	out := make(map[int]int64, len(prof.Nodes))
+	for id, np := range prof.Nodes {
+		if np.SizeBytes > 0 {
+			out[id] = np.SizeBytes
+		}
+	}
+	return &core.DistModel{
+		Workers:         workers,
+		StageLatencySec: res.StageLatencySec,
+		NetSecPerByte:   res.CoordWeight(),
+		OutBytes:        out,
+	}
+}
+
+// EstCostDist estimates wall-clock seconds of a distributed execution
+// under a cache set: the dist-time simulation of the shared schedule
+// plan. It is to keystone/dist what EstCost is to the local executor —
+// the objective GreedyCacheSetDist minimizes.
+func EstCostDist(g *core.Graph, prof *Profile, cached map[int]bool, dist *core.DistModel) float64 {
+	return core.NewSchedulePlan(g, profTimes(prof), cached, 1).WithDist(dist).Makespan()
+}
+
+// ScheduleForDist builds the schedule plan a distributed fit consumes:
+// ScheduleFor with the dist model attached, so Makespan and the
+// coordinator's cost reporting reflect off-box execution. The plan keeps
+// Workers = 1 — the coordinator's DAG walk is sequential; parallelism
+// lives inside each remote dispatch.
+func ScheduleForDist(g *core.Graph, prof *Profile, cacheSet []int, dist *core.DistModel) *core.SchedulePlan {
+	return ScheduleFor(g, prof, cacheSet, 1).WithDist(dist)
+}

@@ -55,6 +55,11 @@ type Config struct {
 	// the executor's DAG-level worker pool; 0 = NumCPU, 1 = the
 	// sequential depth-first oracle.
 	Parallelism int
+	// Dist, when non-nil, makes the materialization planner cost cache
+	// sets with the distributed-time makespan (network + stage-launch
+	// terms) instead of the local model, and attaches the model to the
+	// resulting schedule plan. Set by keystone/dist fits.
+	Dist *core.DistModel
 }
 
 func (c Config) samples() (int, int) {
@@ -171,8 +176,24 @@ func optimize(g *core.Graph, data, labels *engine.Collection, cfg Config, ctx *e
 	// when k = 1), and the resulting schedule plan is carried on the
 	// Plan so Execute hands the very same model to the dispatcher.
 	workers := cfg.execWorkers()
-	plan.CacheSet = GreedyCacheSet(g, prof, cfg.MemBudgetBytes, workers)
-	plan.Schedule = ScheduleFor(g, prof, plan.CacheSet, workers)
+	if cfg.Dist != nil {
+		// Callers set the dist model's cluster terms before profiling
+		// exists; the per-node transfer sizes come from the profile just
+		// built.
+		if cfg.Dist.OutBytes == nil {
+			cfg.Dist.OutBytes = make(map[int]int64, len(prof.Nodes))
+			for id, np := range prof.Nodes {
+				if np.SizeBytes > 0 {
+					cfg.Dist.OutBytes[id] = np.SizeBytes
+				}
+			}
+		}
+		plan.CacheSet = GreedyCacheSetDist(g, prof, cfg.MemBudgetBytes, cfg.Dist)
+		plan.Schedule = ScheduleForDist(g, prof, plan.CacheSet, cfg.Dist)
+	} else {
+		plan.CacheSet = GreedyCacheSet(g, prof, cfg.MemBudgetBytes, workers)
+		plan.Schedule = ScheduleFor(g, prof, plan.CacheSet, workers)
+	}
 	prof.Elapsed = time.Since(start)
 	plan.OptimizeTime = prof.Elapsed
 	return plan

@@ -51,21 +51,27 @@ func (s *BlockSolver) lambda() float64 {
 // Fit implements core.EstimatorOp.
 func (s *BlockSolver) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetch) core.TransformOp {
 	lab := labels()
-	var d, k int
-	{
-		probe := pairPartitions(data(), lab)
-		_, d, k = dims(probe)
-	}
-	b := s.blockSize()
-	if b > d {
-		b = d
-	}
-	w := linalg.NewMatrix(d, k)
+	// Exactly one fetch per sweep — Weight() fetches total, matching what
+	// the cost model charges. Dimensions come from the first sweep's
+	// fetch and the final training loss reuses the last one: an extra
+	// fetch is a full upstream recompute locally and a full cluster
+	// shuffle under keystone/dist, so none are spent on bookkeeping.
+	var d, k, b int
+	var w *linalg.Matrix
+	var pairs []partPair
 
 	for sweep := 0; sweep < s.sweeps(); sweep++ {
 		// One fetch per sweep: the upstream pipeline recomputes here when
 		// the solver input is not materialized.
-		pairs := pairPartitions(data(), lab)
+		pairs = pairPartitions(data(), lab)
+		if sweep == 0 {
+			_, d, k = dims(pairs)
+			b = s.blockSize()
+			if b > d {
+				b = d
+			}
+			w = linalg.NewMatrix(d, k)
+		}
 		dense := densify(pairs)
 		// Residual R = B - A W, maintained incrementally across blocks.
 		resid := make([]*linalg.Matrix, len(dense))
@@ -131,8 +137,7 @@ func (s *BlockSolver) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetc
 			}
 		}
 	}
-	finalPairs := pairPartitions(data(), lab)
-	return &LinearMapper{W: w, TrainLoss: squaredLoss(finalPairs, w), SolverName: s.Name()}
+	return &LinearMapper{W: w, TrainLoss: squaredLoss(pairs, w), SolverName: s.Name()}
 }
 
 type densePair struct {

@@ -71,18 +71,23 @@ func (s *LBFGS) history() int {
 // Fit implements core.EstimatorOp.
 func (s *LBFGS) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetch) core.TransformOp {
 	lab := labels() // labels are small; hold them across passes
-	var d, k int
-	{
-		probe := pairPartitions(data(), lab)
-		_, d, k = dims(probe)
-	}
-	dim := d * k
-	w := make([]float64, dim)
+	// One fetch per iteration and no extras: dimensions come from the
+	// first pass and the final loss reuses the last pass (a fetch is a
+	// cluster shuffle under keystone/dist), so the fetch count is exactly
+	// the Weight() the cost model charges.
+	var d, k, dim int
+	var w []float64
+	var pairs []partPair
 	var sHist, yHist [][]float64
 	var prevW, prevG []float64
 
 	for it := 0; it < s.iters(); it++ {
-		pairs := pairPartitions(data(), lab) // one pass: refetch input
+		pairs = pairPartitions(data(), lab) // one pass: refetch input
+		if it == 0 {
+			_, d, k = dims(pairs)
+			dim = d * k
+			w = make([]float64, dim)
+		}
 		g, _ := s.gradient(ctx, pairs, w, d, k)
 		gnorm := linalg.Norm2(g)
 		if gnorm < 1e-10 {
@@ -117,8 +122,7 @@ func (s *LBFGS) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetch) cor
 		}
 	}
 	wm := &linalg.Matrix{Rows: d, Cols: k, Data: w}
-	finalPairs := pairPartitions(data(), lab)
-	return &LinearMapper{W: wm, TrainLoss: squaredLoss(finalPairs, wm), SolverName: s.Name()}
+	return &LinearMapper{W: wm, TrainLoss: squaredLoss(pairs, wm), SolverName: s.Name()}
 }
 
 // twoLoop is the standard L-BFGS two-loop recursion producing the search

@@ -56,16 +56,22 @@ func (s *SGD) step(t int) float64 {
 // Fit implements core.EstimatorOp.
 func (s *SGD) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetch) core.TransformOp {
 	lab := labels()
+	// One fetch per epoch, none for bookkeeping: dimensions come from
+	// the first epoch's fetch and the final loss reuses the last one
+	// (each fetch is a full upstream recompute locally and a cluster
+	// shuffle under keystone/dist), so the fetch count equals Weight().
 	var d, k int
-	{
-		probe := pairPartitions(data(), lab)
-		_, d, k = dims(probe)
-	}
-	w := make([]float64, d*k)
-	wm := linalg.Matrix{Rows: d, Cols: k, Data: w}
+	var w []float64
+	var wm linalg.Matrix
+	var pairs []partPair
 	t := 0
 	for epoch := 0; epoch < s.epochs(); epoch++ {
-		pairs := pairPartitions(data(), lab)
+		pairs = pairPartitions(data(), lab)
+		if epoch == 0 {
+			_, d, k = dims(pairs)
+			w = make([]float64, d*k)
+			wm = linalg.Matrix{Rows: d, Cols: k, Data: w}
+		}
 		pred := make([]float64, k)
 		gBatch := make([]float64, d*k)
 		inBatch := 0
@@ -130,9 +136,8 @@ func (s *SGD) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetch) core.
 		}
 		flush()
 	}
-	finalPairs := pairPartitions(data(), lab)
 	model := &linalg.Matrix{Rows: d, Cols: k, Data: w}
-	return &LinearMapper{W: model, TrainLoss: squaredLoss(finalPairs, model), SolverName: s.Name()}
+	return &LinearMapper{W: model, TrainLoss: squaredLoss(pairs, model), SolverName: s.Name()}
 }
 
 // rowNorm2 returns ||x||² of record r in partition p.

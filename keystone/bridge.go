@@ -1,0 +1,28 @@
+package keystone
+
+import "keystoneml/internal/core"
+
+// This file is the narrow seam between the public facade and the
+// keystone/dist coordinator, which re-implements Fit's execution step
+// across worker processes but reuses everything else (graph building,
+// optimizer, artifact codec) from this package. Ordinary consumers never
+// need these: Fit/Transform/Save/Load are the supported surface.
+
+// EngineGraph exposes the pipeline's underlying DAG and output node for
+// engine-level executors such as keystone/dist. The returned graph is
+// the live graph (not a clone); callers must Clone before mutating.
+func (p *Pipeline[I, O]) EngineGraph() (*core.Graph, *core.Node) { return p.g, p.out }
+
+// NewEngineFitted wraps an engine-level fitted pipeline as a public
+// Fitted[I, O], the inverse of what Fit does after executing its plan.
+// The caller asserts the type parameters match the graph's record types
+// (keystone/dist derives them from the Pipeline it was handed, so the
+// assertion holds by construction).
+func NewEngineFitted[I, O any](inner *core.Fitted, info FitInfo) *Fitted[I, O] {
+	return &Fitted[I, O]{inner: inner, info: info}
+}
+
+// Engine exposes the engine-level fitted pipeline backing f — the object
+// keystone.Encode serializes — for engine-level callers pairing public
+// and dist execution paths.
+func (f *Fitted[I, O]) Engine() *core.Fitted { return f.inner }

@@ -1,0 +1,255 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"keystoneml/internal/core"
+	"keystoneml/internal/engine"
+)
+
+// Cluster is the coordinator's handle on a set of workers: one
+// connection per worker, requests serialized per connection and fanned
+// out across workers in parallel. Datasets are partitioned round-robin
+// by global partition index (partition i lives on worker i mod W), so
+// every worker can locate its share of any dataset without a directory.
+type Cluster struct {
+	conns []*workerConn
+}
+
+type workerConn struct {
+	addr string
+	mu   sync.Mutex // one in-flight request per connection
+	conn net.Conn
+}
+
+// Connect dials every worker address and returns the cluster handle.
+func Connect(addrs ...string) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("dist: Connect needs at least one worker address")
+	}
+	c := &Cluster{}
+	for _, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("dist: dial worker %s: %w", addr, err)
+		}
+		c.conns = append(c.conns, &workerConn{addr: addr, conn: conn})
+	}
+	return c, nil
+}
+
+// Close drops all worker connections (workers keep running; their
+// resident datasets are freed only by Free or worker shutdown).
+func (c *Cluster) Close() error {
+	for _, wc := range c.conns {
+		if wc != nil && wc.conn != nil {
+			wc.conn.Close()
+		}
+	}
+	return nil
+}
+
+// Workers returns the number of connected workers.
+func (c *Cluster) Workers() int { return len(c.conns) }
+
+// Addrs returns the connected worker addresses in cluster order.
+func (c *Cluster) Addrs() []string {
+	out := make([]string, len(c.conns))
+	for i, wc := range c.conns {
+		out[i] = wc.addr
+	}
+	return out
+}
+
+// call sends one request to worker i and waits for its response.
+func (c *Cluster) call(i int, req *request) (*response, error) {
+	wc := c.conns[i]
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	if err := writeFrame(wc.conn, req); err != nil {
+		return nil, fmt.Errorf("dist: worker %s: %w", wc.addr, err)
+	}
+	var resp response
+	if err := readFrame(wc.conn, &resp); err != nil {
+		return nil, fmt.Errorf("dist: worker %s: %w", wc.addr, err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("dist: worker %s: %s", wc.addr, resp.Err)
+	}
+	return &resp, nil
+}
+
+// broadcast sends make(i)'s request to every worker concurrently and
+// collects the responses (nil responses where make returned nil). The
+// first error wins.
+func (c *Cluster) broadcast(mk func(worker int) *request) ([]*response, error) {
+	resps := make([]*response, len(c.conns))
+	errs := make([]error, len(c.conns))
+	var wg sync.WaitGroup
+	for i := range c.conns {
+		req := mk(i)
+		if req == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, req *request) {
+			defer wg.Done()
+			resps[i], errs[i] = c.call(i, req)
+		}(i, req)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return resps, nil
+}
+
+// Ping checks liveness of every worker and returns their replica HTTP
+// addresses ("" for fit-only workers), in cluster order.
+func (c *Cluster) Ping() ([]string, error) {
+	resps, err := c.broadcast(func(int) *request { return &request{Op: opPing} })
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(resps))
+	for i, r := range resps {
+		out[i] = r.HTTPAddr
+	}
+	return out, nil
+}
+
+// Load ships a collection to the cluster under name, partition i to
+// worker i mod W. Every worker receives a load (possibly empty) so the
+// dataset exists everywhere.
+func (c *Cluster) Load(name string, coll *engine.Collection) error {
+	w := len(c.conns)
+	perWorker := make([][]partition, w)
+	for i := 0; i < coll.NumPartitions(); i++ {
+		wi := i % w
+		perWorker[wi] = append(perWorker[wi], partition{Index: i, Records: coll.Partition(i)})
+	}
+	_, err := c.broadcast(func(i int) *request {
+		return &request{Op: opLoad, Dataset: name, Parts: perWorker[i]}
+	})
+	return err
+}
+
+// Apply runs op over src's partitions on every worker, storing the
+// result as dst. The operator crosses the wire via core.EncodeOp, so op
+// must be persistable (a StateCodec or a registered named op) — the
+// same contract artifacts impose.
+func (c *Cluster) Apply(dst, src string, op core.TransformOp) error {
+	kind, state, err := core.EncodeOp(op)
+	if err != nil {
+		return fmt.Errorf("dist: operator %q not shippable: %w", op.Name(), err)
+	}
+	_, err = c.broadcast(func(int) *request {
+		return &request{Op: opApply, Dataset: dst, Source: src, OpKind: kind, OpState: state}
+	})
+	return err
+}
+
+// Zip gather-joins a and b (feature concatenation, partition- and
+// record-aligned) into dst on every worker.
+func (c *Cluster) Zip(dst, a, b string) error {
+	_, err := c.broadcast(func(int) *request {
+		return &request{Op: opZip, Dataset: dst, Source: a, Source2: b}
+	})
+	return err
+}
+
+// Alias binds dst to src's partitions on every worker (a single-branch
+// gather: the output is the input).
+func (c *Cluster) Alias(dst, src string) error {
+	_, err := c.broadcast(func(int) *request {
+		return &request{Op: opAlias, Dataset: dst, Source: src}
+	})
+	return err
+}
+
+// Fetch pulls a dataset's partitions back from every worker and
+// reassembles them in global partition order — the collection an
+// estimator fit sees is bit-identical (same partition structure, same
+// record order) to what a single-process fit would have seen.
+func (c *Cluster) Fetch(name string) (*engine.Collection, error) {
+	resps, err := c.broadcast(func(int) *request {
+		return &request{Op: opFetch, Dataset: name}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var parts []partition
+	for _, r := range resps {
+		parts = append(parts, r.Parts...)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].Index < parts[j].Index })
+	ordered := make([][]any, len(parts))
+	for i, p := range parts {
+		if p.Index != i {
+			return nil, fmt.Errorf("dist: fetch %q: missing partition %d", name, i)
+		}
+		ordered[i] = p.Records
+	}
+	return engine.FromPartitions(ordered), nil
+}
+
+// Free drops datasets on every worker.
+func (c *Cluster) Free(names ...string) error {
+	for _, name := range names {
+		if _, err := c.broadcast(func(int) *request {
+			return &request{Op: opFree, Dataset: name}
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns each worker's resident datasets and record counts, in
+// cluster order.
+func (c *Cluster) Stats() ([]map[string]int, error) {
+	resps, err := c.broadcast(func(int) *request { return &request{Op: opStats} })
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[string]int, len(resps))
+	for i, r := range resps {
+		out[i] = r.Counts
+	}
+	return out, nil
+}
+
+// ServeRoute ships one registry artifact reference to every worker's
+// serving replica: each registers route (of the given registered kind)
+// booted from the artifact, and the replica base URLs come back in
+// cluster order — the router's replica set.
+func (c *Cluster) ServeRoute(kind, route, ref string) ([]string, error) {
+	resps, err := c.broadcast(func(int) *request {
+		return &request{Op: opServe, Kind: kind, Route: route, Ref: ref}
+	})
+	if err != nil {
+		return nil, err
+	}
+	addrs := make([]string, len(resps))
+	for i, r := range resps {
+		addrs[i] = r.HTTPAddr
+	}
+	return addrs, nil
+}
+
+// checkCtx returns the context's error, if any (the coordinator polls
+// between remote dispatches, mirroring the engine's cancellation
+// cadence).
+func checkCtx(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

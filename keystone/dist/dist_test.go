@@ -1,0 +1,307 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"keystoneml/internal/engine"
+	"keystoneml/keystone"
+	"keystoneml/keystone/registry"
+	"keystoneml/keystone/serve"
+)
+
+// startCluster boots n in-process workers over real TCP loopback sockets
+// and a coordinator connected to them.
+func startCluster(t *testing.T, n int, opts WorkerOptions) (*Cluster, []*Worker) {
+	t.Helper()
+	workers := make([]*Worker, n)
+	addrs := make([]string, n)
+	for i := range workers {
+		o := opts
+		o.Listen = "127.0.0.1:0"
+		w, err := StartWorker(o)
+		if err != nil {
+			t.Fatalf("start worker %d: %v", i, err)
+		}
+		t.Cleanup(func() { w.Close() })
+		workers[i] = w
+		addrs[i] = w.Addr()
+	}
+	cl, err := Connect(addrs...)
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl, workers
+}
+
+// TestWireRoundTrip loads a partitioned collection onto two workers over
+// the real wire, fetches it back, and checks both content and partition
+// structure survived bit for bit.
+func TestWireRoundTrip(t *testing.T) {
+	cl, _ := startCluster(t, 2, WorkerOptions{})
+
+	recs := make([]any, 17)
+	for i := range recs {
+		recs[i] = fmt.Sprintf("doc %d", i)
+	}
+	coll := engine.FromSlice(recs, 5)
+	if err := cl.Load("d", coll); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+
+	got, err := cl.Fetch("d")
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if got.NumPartitions() != coll.NumPartitions() {
+		t.Fatalf("fetched %d partitions, want %d", got.NumPartitions(), coll.NumPartitions())
+	}
+	for i := 0; i < coll.NumPartitions(); i++ {
+		if !reflect.DeepEqual(got.Partition(i), coll.Partition(i)) {
+			t.Fatalf("partition %d changed across the wire", i)
+		}
+	}
+
+	// Stats shows the round-robin split: 5 partitions over 2 workers.
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	total := 0
+	for _, per := range stats {
+		total += per["d"]
+	}
+	if total != len(recs) {
+		t.Fatalf("workers hold %d records, want %d", total, len(recs))
+	}
+
+	if err := cl.Free("d"); err != nil {
+		t.Fatalf("free: %v", err)
+	}
+	if _, err := cl.Fetch("d"); err == nil {
+		t.Fatal("fetch after free succeeded")
+	}
+}
+
+// TestApplyNotShippable: an anonymous closure operator (no state codec,
+// not registered) must be rejected client-side with a clear error.
+func TestApplyNotShippable(t *testing.T) {
+	cl, _ := startCluster(t, 1, WorkerOptions{})
+	op := keystone.NewOp("anon", func(s string) string { return s })
+	if err := cl.Load("d", engine.FromSlice([]any{"x"}, 1)); err != nil {
+		t.Fatal(err)
+	}
+	g, out := keystone.Then(keystone.Input[string](), op).EngineGraph()
+	_ = out
+	err := cl.Apply("e", "d", g.Sink.Transform)
+	if err == nil {
+		t.Fatal("shipping an unregistered closure succeeded")
+	}
+}
+
+// TestFitBitIdentical is the acceptance check: a distributed fit of the
+// Figure 2 text pipeline over 2 worker processes must produce a model
+// whose predictions are bit-identical (exact float equality) to the
+// single-process oracle at the same optimizer level.
+func TestFitBitIdentical(t *testing.T) {
+	train := keystone.SyntheticReviews(120, 1)
+	test := keystone.SyntheticReviews(30, 2)
+	p := keystone.TextPipeline(keystone.TextConfig{NumFeatures: 400, Iterations: 5})
+
+	local, err := p.Fit(context.Background(), train.Records, train.Labels,
+		keystone.WithOptimizerLevel(keystone.LevelPipeline),
+		keystone.WithSampleSizes(16, 32),
+		keystone.WithPartitions(4),
+		keystone.WithWorkers(1))
+	if err != nil {
+		t.Fatalf("local fit: %v", err)
+	}
+
+	cl, _ := startCluster(t, 2, WorkerOptions{})
+	distFit, rep, err := Fit(context.Background(), cl, p, train.Records, train.Labels, FitOptions{
+		Level:       keystone.LevelPipeline,
+		SampleSizes: [2]int{16, 32},
+		Partitions:  4,
+	})
+	if err != nil {
+		t.Fatalf("dist fit: %v", err)
+	}
+	if rep.Workers != 2 || rep.Partitions != 4 {
+		t.Fatalf("report = %+v, want 2 workers / 4 partitions", rep)
+	}
+	if rep.ModeledMakespan <= 0 {
+		t.Fatalf("modeled makespan = %g, want > 0", rep.ModeledMakespan)
+	}
+
+	for i, doc := range test.Records {
+		want, err := local.Transform(context.Background(), doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := distFit.Transform(context.Background(), doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("doc %d: dist prediction %v != local %v", i, got, want)
+		}
+	}
+
+	// The run cleans up after itself: no datasets left resident.
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for wi, per := range stats {
+		if len(per) != 0 {
+			t.Fatalf("worker %d still holds %v after fit", wi, per)
+		}
+	}
+}
+
+// TestFitCancel: a canceled context aborts the distributed fit with the
+// context error rather than hanging or panicking.
+func TestFitCancel(t *testing.T) {
+	cl, _ := startCluster(t, 2, WorkerOptions{})
+	train := keystone.SyntheticReviews(80, 1)
+	p := keystone.TextPipeline(keystone.TextConfig{NumFeatures: 200, Iterations: 3})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := Fit(ctx, cl, p, train.Records, train.Labels, FitOptions{
+		Level:       keystone.LevelPipeline,
+		SampleSizes: [2]int{16, 32},
+	})
+	if err == nil {
+		t.Fatal("canceled fit succeeded")
+	}
+}
+
+// TestFitValidation covers the argument contract.
+func TestFitValidation(t *testing.T) {
+	cl, _ := startCluster(t, 1, WorkerOptions{})
+	p := keystone.TextPipeline(keystone.TextConfig{NumFeatures: 100, Iterations: 2})
+	if _, _, err := Fit(context.Background(), cl, p, nil, nil, FitOptions{}); err == nil {
+		t.Fatal("empty fit succeeded")
+	}
+	if _, _, err := Fit(context.Background(), cl, p, []string{"a", "b"}, [][]float64{{1}}, FitOptions{}); err == nil {
+		t.Fatal("mismatched labels accepted")
+	}
+	if _, _, err := Fit(context.Background(), cl, p, []string{"a"}, nil, FitOptions{}); err == nil {
+		t.Fatal("supervised pipeline accepted nil labels")
+	}
+}
+
+// TestServeRouteAndRouter drives the full sharded-serving path: fit,
+// encode to a registry, ship the artifact id to every worker replica via
+// the wire serve op, front the replicas with the consistent-hash router,
+// predict through it, push rollout state, then kill one worker and
+// verify the router keeps serving from the survivor.
+func TestServeRouteAndRouter(t *testing.T) {
+	regDir := t.TempDir()
+	reg, err := registry.Open(regDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	train := keystone.SyntheticReviews(100, 1)
+	p := keystone.TextPipeline(keystone.TextConfig{NumFeatures: 200, Iterations: 3})
+	fitted, err := p.Fit(context.Background(), train.Records, train.Labels,
+		keystone.WithOptimizerLevel(keystone.LevelPipeline),
+		keystone.WithSampleSizes(16, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := keystone.Encode(fitted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := reg.Put(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	RegisterServeKind("disttest-text", func(srv *serve.Server, store serve.ArtifactStore, route, ref string) error {
+		_, err := serve.RegisterArtifact[string, []float64](srv, route, store, ref, serve.TextCodec{})
+		return err
+	})
+
+	cl, workers := startCluster(t, 2, WorkerOptions{HTTPListen: "127.0.0.1:0", RegistryDir: regDir})
+	replicas, err := cl.ServeRoute("disttest-text", "text", id)
+	if err != nil {
+		t.Fatalf("serve route: %v", err)
+	}
+	if len(replicas) != 2 || replicas[0] == "" || replicas[1] == "" {
+		t.Fatalf("replica addrs = %v", replicas)
+	}
+
+	router, err := NewRouter(RouterOptions{Replicas: replicas, HealthInterval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	doc := train.Records[0]
+	want, err := fitted.Transform(context.Background(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := predictViaRouter(t, router, doc)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("router prediction %v != direct %v", got, want)
+	}
+
+	// Same affinity key must keep landing on the same replica (warm
+	// state); different keys spread.
+	if a, b := routedReplica(t, router, "stable-key"), routedReplica(t, router, "stable-key"); a != b {
+		t.Fatalf("same key routed to %s then %s", a, b)
+	}
+
+	// Push shared rollout state and verify it landed on every replica.
+	cap := 7
+	if err := router.PushRollout(context.Background(), "text", serve.RolloutState{MaxInFlight: &cap}); err != nil {
+		t.Fatalf("push rollout: %v", err)
+	}
+	for _, addr := range replicas {
+		st := getRolloutState(t, addr, "text")
+		if st.MaxInFlight == nil || *st.MaxInFlight != 7 {
+			t.Fatalf("replica %s rollout state = %+v, want MaxInFlight 7", addr, st)
+		}
+	}
+
+	// Kill one worker: the router must degrade to the survivor, not 503.
+	workers[0].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got := predictViaRouterMaybe(router, doc); got != nil {
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("degraded prediction %v != direct %v", got, want)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("router never recovered after losing one replica")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The health loop (or a failed forward) marks the killed replica
+	// down shortly after.
+	for {
+		sawDown := false
+		for _, rs := range router.Replicas() {
+			if !rs.Healthy {
+				sawDown = true
+			}
+		}
+		if sawDown {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("router never marked the killed replica down")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"keystoneml/keystone/serve"
+)
+
+// predictViaRouter posts one document through the router and returns the
+// score vector.
+func predictViaRouter(t *testing.T, rt *Router, doc string) []float64 {
+	t.Helper()
+	got := predictViaRouterMaybe(rt, doc)
+	if got == nil {
+		t.Fatal("router prediction failed")
+	}
+	return got
+}
+
+// predictViaRouterMaybe is predictViaRouter without the fatal: nil on
+// any failure, for polling during failover.
+func predictViaRouterMaybe(rt *Router, doc string) []float64 {
+	body, _ := json.Marshal(map[string]string{"text": doc})
+	req := httptest.NewRequest(http.MethodPost, "/routes/text/predict", strings.NewReader(string(body)))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return nil
+	}
+	var resp struct {
+		Scores []float64 `json:"scores"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || len(resp.Scores) == 0 {
+		return nil
+	}
+	return resp.Scores
+}
+
+// routedReplica returns the replica address the router's ring assigns to
+// an affinity key right now.
+func routedReplica(t *testing.T, rt *Router, key string) string {
+	t.Helper()
+	rep, _ := rt.pick([]byte(key))
+	if rep == nil {
+		t.Fatal("no live replica for key")
+	}
+	return rep.addr
+}
+
+// getRolloutState reads one replica's rollout state directly.
+func getRolloutState(t *testing.T, addr, route string) serve.RolloutState {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/routes/%s/rollout", addr, route))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rollout GET %s: %s: %s", addr, resp.Status, raw)
+	}
+	var st serve.RolloutState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("rollout state decode: %v (%s)", err, raw)
+	}
+	return st
+}

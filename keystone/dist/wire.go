@@ -1,0 +1,162 @@
+// Package dist is the distributed tier: a coordinator that fits
+// pipelines data-parallel across worker processes holding
+// engine.Collection partitions, and a consistent-hashing Router that
+// fronts N serve.Server replicas booted from one registry artifact id.
+//
+// The wire protocol is deliberately lean — length-prefixed gob frames
+// over TCP, one self-contained request or response per frame — and
+// reuses the artifact-persistence codecs for everything interesting:
+// operators cross the wire as (state kind, state bytes) pairs exactly as
+// they are persisted on disk (core.EncodeOp / core.DecodeOp), so any
+// operator a pipeline can Save is an operator a worker can execute.
+// Records cross inside []any partitions and therefore need their
+// concrete types gob-registered on both ends; RegisterRecordType extends
+// the built-in set (strings, dense and sparse vectors, token lists,
+// term-frequency maps — the evaluation pipelines' record types).
+//
+// Framing: a frame is a big-endian uint32 payload length followed by
+// that many bytes of gob, produced by a fresh encoder per frame. Fresh
+// encoders cost a re-sent type description per frame but make failure
+// semantics clean: a torn or corrupt frame kills one request, not the
+// decoder stream, and either side can drop the connection at any frame
+// boundary. Workers answer strictly in request order per connection;
+// the coordinator serializes in-flight requests per connection and
+// fans out across workers with one connection each.
+package dist
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"keystoneml/internal/linalg"
+)
+
+// maxFrame bounds a single frame (a full dataset partition set can ride
+// one frame, so the cap is generous; it exists to fail fast on a
+// corrupt length prefix, not to limit payloads).
+const maxFrame = 1 << 30
+
+// Wire operation names (request.Op).
+const (
+	opPing  = "ping"  // liveness + discovery (returns the worker's HTTP addr)
+	opLoad  = "load"  // store the request's partitions under Dataset
+	opApply = "apply" // map a decoded operator over Source into Dataset
+	opZip   = "zip"   // gather join: concat Source and Source2 features into Dataset
+	opAlias = "alias" // bind Dataset to Source's partitions (single-branch gather)
+	opFetch = "fetch" // return Dataset's partitions
+	opFree  = "free"  // drop Dataset
+	opServe = "serve" // register Route on the worker's HTTP replica from Artifact
+	opStats = "stats" // resident datasets and record counts
+)
+
+// partition is one globally-indexed slice of a distributed collection.
+// Index is the partition's position in the full collection, preserved
+// across every operation so fetches reassemble in exact order and zips
+// align — the invariant behind bit-identical distributed fits.
+type partition struct {
+	Index   int
+	Records []any
+}
+
+// request is the coordinator→worker message; Op selects which fields
+// are meaningful.
+type request struct {
+	Op      string
+	Dataset string      // result (load/apply/zip/alias) or target (fetch/free)
+	Source  string      // input dataset
+	Source2 string      // right input (zip)
+	Parts   []partition // payload (load)
+	OpKind  string      // operator state kind (apply), per core.EncodeOp
+	OpState []byte      // operator state bytes (apply)
+	Route   string      // serve: route name
+	Kind    string      // serve: registered codec kind
+	Ref     string      // serve: registry artifact id/tag/prefix
+}
+
+// response is the worker→coordinator message.
+type response struct {
+	Err      string
+	Parts    []partition    // fetch
+	Counts   map[string]int // stats: dataset -> resident record count
+	HTTPAddr string         // ping/serve: replica base address ("" = no replica)
+}
+
+// writeFrame gob-encodes v with a fresh encoder and writes it as one
+// length-prefixed frame.
+func writeFrame(w io.Writer, v any) error {
+	var buf []byte
+	{
+		bw := &sliceWriter{}
+		if err := gob.NewEncoder(bw).Encode(v); err != nil {
+			return fmt.Errorf("dist: encode frame: %w", err)
+		}
+		buf = bw.b
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(buf)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame into v.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("dist: frame length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	if err := gob.NewDecoder(&sliceReader{b: buf}).Decode(v); err != nil {
+		return fmt.Errorf("dist: decode frame: %w", err)
+	}
+	return nil
+}
+
+// sliceWriter/sliceReader avoid bytes.Buffer's unused capacity games for
+// the simple encode-whole/decode-whole frames used here.
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
+
+type sliceReader struct {
+	b []byte
+	i int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}
+
+// RegisterRecordType registers a concrete record type for wire
+// transport (records travel as []any inside partitions, so gob needs
+// the concrete types on both ends). The evaluation pipelines' record
+// types are pre-registered; pipelines with custom record types call
+// this in both the coordinator and worker binaries.
+func RegisterRecordType(v any) { gob.Register(v) }
+
+func init() {
+	// The record types of the built-in evaluation pipelines: documents,
+	// token/n-gram lists, term-frequency maps, sparse featurizations,
+	// dense feature/label vectors.
+	gob.Register("")
+	gob.Register([]string(nil))
+	gob.Register(map[string]float64{})
+	gob.Register([]float64(nil))
+	gob.Register(&linalg.SparseVector{})
+}

@@ -54,7 +54,7 @@ func TestAdmissionInFlightCap(t *testing.T) {
 		}(i)
 	}
 	<-entered // at least one is executing, both hold in-flight units
-	waitFor(t, func() bool { return rt.adm.InFlight() == 2 })
+	waitFor(t, func() bool { return rt.adm.Load().InFlight() == 2 })
 
 	if _, err := rt.Predict(context.Background(), 99); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("request over the cap = %v, want ErrOverloaded", err)
@@ -65,7 +65,7 @@ func TestAdmissionInFlightCap(t *testing.T) {
 
 	close(release)
 	wg.Wait()
-	waitFor(t, func() bool { return rt.adm.InFlight() == 0 })
+	waitFor(t, func() bool { return rt.adm.Load().InFlight() == 0 })
 	if _, err := rt.Predict(context.Background(), 5); err != nil {
 		t.Fatalf("request after capacity freed = %v", err)
 	}

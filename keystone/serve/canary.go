@@ -50,10 +50,14 @@ func (m canaryMode) String() string {
 // picks, then drain the candidate behind its version gate exactly like a
 // hot-swap drains a retired primary.
 type canaryState[I, O any] struct {
-	mode     canaryMode
-	cand     *version[I, O]
-	fraction float64 // canary: target share of traffic on the candidate
-	started  time.Time
+	mode    canaryMode
+	cand    *version[I, O]
+	started time.Time
+
+	// frac holds the canary target traffic share as float64 bits so
+	// SetCanaryFraction (the dist-router rollout push) can retarget a
+	// staged candidate while the splitter reads it lock-free.
+	frac atomic.Uint64
 
 	// primServed0/primErrs0 snapshot the primary's counters at stage
 	// time, so CanaryStats compares same-window deltas instead of the
@@ -74,9 +78,15 @@ type canaryState[I, O any] struct {
 // request over any run length.
 func (st *canaryState[I, O]) pickCandidate() bool {
 	n := st.counter.Add(1)
-	f := st.fraction
+	f := st.fraction()
 	return uint64(float64(n)*f) != uint64(float64(n-1)*f)
 }
+
+// fraction reads the live canary traffic share.
+func (st *canaryState[I, O]) fraction() float64 { return math.Float64frombits(st.frac.Load()) }
+
+// setFraction updates the live canary traffic share.
+func (st *canaryState[I, O]) setFraction(f float64) { st.frac.Store(math.Float64bits(f)) }
 
 // Canary stages fitted as a candidate version receiving fraction
 // (0 < fraction < 1) of this route's single-prediction traffic. The
@@ -155,11 +165,11 @@ func (rt *Route[I, O]) stage(ctx context.Context, fitted *keystone.Fitted[I, O],
 	rt.vers = append(rt.vers, cand)
 	rt.histMu.Unlock()
 	st := &canaryState[I, O]{
-		mode:     mode,
-		cand:     cand,
-		fraction: fraction,
-		started:  time.Now(),
+		mode:    mode,
+		cand:    cand,
+		started: time.Now(),
 	}
+	st.setFraction(fraction)
 	if prim := rt.cur.Load(); prim != nil {
 		st.primServed0 = prim.served.Load()
 		st.primErrs0 = prim.errs.Load()
@@ -261,7 +271,7 @@ func (rt *Route[I, O]) CanaryStats() (stats CanaryStats, ok bool) {
 	stats = CanaryStats{
 		Mode:             st.mode.String(),
 		CandidateVersion: st.cand.id,
-		Fraction:         st.fraction,
+		Fraction:         st.fraction(),
 		Started:          st.started,
 		CandidateServed:  st.cand.served.Load(),
 		CandidateErrors:  st.cand.errs.Load(),

@@ -90,8 +90,10 @@ type Route[I, O any] struct {
 	// request path reads it lock-free.
 	canary atomic.Pointer[canaryState[I, O]]
 
-	// adm is the route's admission control (nil admits everything).
-	adm *admitter
+	// adm is the route's admission control (a nil admitter admits
+	// everything). It is an atomic pointer so SetAdmission — the
+	// dist-router rollout push — can swap the caps under live traffic.
+	adm atomic.Pointer[admitter]
 
 	// store is the bound artifact registry (nil = none); set once at
 	// Register time and immutable after, so the request path and stats
@@ -128,9 +130,9 @@ func Register[I, O any](s *Server, name string, fitted *keystone.Fitted[I, O], c
 		name:    name,
 		codec:   codec,
 		timeout: cfg.timeout,
-		adm:     newAdmitter(cfg.admission),
 		store:   cfg.store,
 	}
+	rt.adm.Store(newAdmitter(cfg.admission))
 	batch, delay := cfg.maxBatch, cfg.maxDelay
 	if cfg.slo.TargetP95 > 0 {
 		rt.tuner = NewTuner(cfg.slo)
@@ -311,7 +313,7 @@ func (rt *Route[I, O]) handleBatch(w http.ResponseWriter, r *http.Request) {
 // hint when admission control shed the request.
 func (rt *Route[I, O]) predictError(w http.ResponseWriter, err error) {
 	if errors.Is(err, ErrOverloaded) {
-		secs := int64((rt.adm.retryAfter() + time.Second - 1) / time.Second)
+		secs := int64((rt.adm.Load().retryAfter() + time.Second - 1) / time.Second)
 		w.Header().Set("Retry-After", fmt.Sprint(secs))
 	}
 	httpError(w, statusOf(err), err.Error())
@@ -448,12 +450,12 @@ func (rt *Route[I, O]) statsValue() map[string]any {
 			out["live_artifact"] = v.artifact
 		}
 	}
-	if rt.adm != nil {
+	if adm := rt.adm.Load(); adm != nil {
 		out["admission"] = map[string]any{
-			"max_in_flight": rt.adm.cfg.MaxInFlight,
-			"max_queue":     rt.adm.cfg.MaxQueue,
-			"in_flight":     rt.adm.InFlight(),
-			"shed":          rt.adm.Shed(),
+			"max_in_flight": adm.cfg.MaxInFlight,
+			"max_queue":     adm.cfg.MaxQueue,
+			"in_flight":     adm.InFlight(),
+			"shed":          adm.Shed(),
 		}
 	}
 	if cs, ok := rt.CanaryStats(); ok {
@@ -464,7 +466,7 @@ func (rt *Route[I, O]) statsValue() map[string]any {
 
 // Shed reports how many requests admission control has turned away on
 // this route (0 without admission control).
-func (rt *Route[I, O]) Shed() int64 { return rt.adm.Shed() }
+func (rt *Route[I, O]) Shed() int64 { return rt.adm.Load().Shed() }
 
 func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 

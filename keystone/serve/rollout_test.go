@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"keystoneml/keystone"
+)
+
+// TestRolloutEndpointHTTP drives /routes/{name}/rollout end to end: GET
+// reflects the current state, POST applies admission caps and canary
+// fraction, pushing a fraction with no staged canary is a staging
+// conflict (409), and an out-of-range fraction is a bad request (400).
+func TestRolloutEndpointHTTP(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	rt, err := Register(s, "m", fitFloatMarker(t, 1), JSONCodec[float64, []float64]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	url := ts.URL + "/routes/m/rollout"
+
+	code, body := getJSON(t, url)
+	if code != 200 || body["max_in_flight"] != float64(0) || body["max_queue"] != float64(0) {
+		t.Fatalf("initial rollout state = %d %v", code, body)
+	}
+	if _, staged := body["canary_fraction"]; staged {
+		t.Fatalf("canary_fraction present with no canary staged: %v", body)
+	}
+
+	// Admission caps apply live and round-trip through GET.
+	code, body = postJSON(t, url, `{"max_in_flight": 5, "max_queue": 2, "retry_after_ms": 40}`)
+	if code != 200 || body["max_in_flight"] != float64(5) || body["max_queue"] != float64(2) ||
+		body["retry_after_ms"] != float64(40) {
+		t.Fatalf("rollout POST = %d %v", code, body)
+	}
+	if a := rt.AdmissionConfig(); a.MaxInFlight != 5 || a.MaxQueue != 2 || a.RetryAfter != 40*time.Millisecond {
+		t.Fatalf("admission not applied: %+v", a)
+	}
+
+	// Canary fraction with nothing staged: staging conflict.
+	if code, _ = postJSON(t, url, `{"canary_fraction": 0.3}`); code != 409 {
+		t.Fatalf("fraction push with no canary = %d, want 409", code)
+	}
+
+	if _, err := rt.Canary(context.Background(), fitFloatMarker(t, 2), 0.5); err != nil {
+		t.Fatalf("stage canary: %v", err)
+	}
+	code, body = postJSON(t, url, `{"canary_fraction": 0.25}`)
+	if code != 200 || body["canary_fraction"] != float64(0.25) {
+		t.Fatalf("fraction retarget = %d %v", code, body)
+	}
+	// A fraction-only push must not disturb the admission caps.
+	if a := rt.AdmissionConfig(); a.MaxInFlight != 5 {
+		t.Fatalf("fraction push clobbered admission: %+v", a)
+	}
+	if code, _ = postJSON(t, url, `{"canary_fraction": 1.5}`); code != 400 {
+		t.Fatalf("out-of-range fraction = %d, want 400", code)
+	}
+	if code, _ = postJSON(t, url, `{"canary_fraction": `); code != 400 {
+		t.Fatalf("malformed body = %d, want 400", code)
+	}
+	if err := rt.Abort(context.Background()); err != nil {
+		t.Fatalf("abort canary: %v", err)
+	}
+	if err := rt.SetCanaryFraction(0.2); !errors.Is(err, ErrNoCanary) {
+		t.Fatalf("SetCanaryFraction after abort = %v, want ErrNoCanary", err)
+	}
+}
+
+// TestSetAdmissionLiveSwap proves admission control swaps under live
+// traffic: a request admitted by the old admitter completes against it,
+// requests arriving at the old cap shed, and requests arriving after
+// the swap see the new cap immediately.
+func TestSetAdmissionLiveSwap(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	p := keystone.Input[float64]()
+	out := keystone.Then(p, keystone.NewOp("rollout.gated", func(x float64) []float64 {
+		if x == 99 {
+			entered <- struct{}{}
+			<-gate
+		}
+		return []float64{1, x}
+	}))
+	f, err := out.Fit(context.Background(), []float64{1}, nil, keystone.WithOptimizerLevel(keystone.LevelNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer()
+	defer s.Close()
+	rt, err := Register(s, "gated", f, JSONCodec[float64, []float64]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetAdmission(Admission{MaxInFlight: 1})
+
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := rt.Predict(context.Background(), 99)
+		blocked <- err
+	}()
+	<-entered
+
+	// At the cap: the next request sheds immediately.
+	if _, err := rt.Predict(context.Background(), 1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("predict at cap = %v, want ErrOverloaded", err)
+	}
+
+	// Raise the cap under traffic: new arrivals are admitted immediately
+	// (batches flush concurrently, so this completes while the gated
+	// request still holds its old-admitter slot).
+	rt.SetAdmission(Admission{MaxInFlight: 8})
+	if _, err := rt.Predict(context.Background(), 2); err != nil {
+		close(gate)
+		t.Fatalf("request after cap raise = %v, want admitted", err)
+	}
+
+	close(gate)
+	if err := <-blocked; err != nil {
+		t.Fatalf("request admitted under old admitter failed after swap: %v", err)
+	}
+}
+
+// TestStatsRegistryTopLevel: GET /stats must surface fleet-wide registry
+// health at the top level — summed tag_errors and the live artifact id
+// per store-bound route — and omit the block entirely when no route has
+// a store bound.
+func TestStatsRegistryTopLevel(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	good := newMemStore()
+	bad := newMemStore()
+	bad.failTags = true
+	if _, err := Register(s, "a", fitStoredMarker(t, "serve.markA"), JSONCodec[float64, []float64]{},
+		WithArtifactStore(good)); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Register(s, "b", fitStoredMarker(t, "serve.markA"), JSONCodec[float64, []float64]{},
+		WithArtifactStore(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.Deploy(context.Background(), fitStoredMarker(t, "serve.markB")); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	code, body := getJSON(t, ts.URL+"/stats")
+	if code != 200 {
+		t.Fatalf("/stats = %d", code)
+	}
+	reg, ok := body["registry"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats missing top-level registry block: %v", body)
+	}
+	if errs := reg["tag_errors"].(float64); errs < 1 {
+		t.Fatalf("tag_errors = %v, want >= 1 (route b's tags fail)", errs)
+	}
+	live, ok := reg["live_artifacts"].(map[string]any)
+	if !ok || live["a"] == "" || live["b"] == "" {
+		t.Fatalf("live_artifacts = %v, want ids for both routes", reg["live_artifacts"])
+	}
+	if live["a"] == live["b"] {
+		t.Fatalf("routes serving different pipelines share artifact id %v", live["a"])
+	}
+
+	// A server with no store-bound routes reports no registry block.
+	s2 := NewServer()
+	defer s2.Close()
+	if _, err := Register(s2, "plain", fitFloatMarker(t, 1), JSONCodec[float64, []float64]{}); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	if _, body := getJSON(t, ts2.URL+"/stats"); body["registry"] != nil {
+		t.Fatalf("storeless server reports registry block: %v", body["registry"])
+	}
+}

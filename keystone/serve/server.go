@@ -66,8 +66,10 @@ type handler interface {
 	handleShadow(w http.ResponseWriter, r *http.Request)
 	handlePromote(w http.ResponseWriter, r *http.Request)
 	handleAbort(w http.ResponseWriter, r *http.Request)
+	handleRollout(w http.ResponseWriter, r *http.Request)
 	versionsValue() []map[string]any
 	statsValue() map[string]any
+	registryHealth() (tagErrs int64, liveArtifact string, bound bool)
 	closeRoute()
 }
 
@@ -223,6 +225,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			h.handleAbort(w, r)
+		case "rollout":
+			h.handleRollout(w, r) // GET = state, POST = apply
 		case "versions":
 			writeJSON(w, map[string]any{"route": h.routeName(), "versions": h.versionsValue()})
 		case "stats", "":
@@ -244,13 +248,34 @@ func (s *Server) handleStats(w http.ResponseWriter) {
 	}
 	s.mu.RUnlock()
 	routes := make(map[string]any, len(hs))
+	// Fleet-wide registry health rides the top level: per-route tag_errors
+	// buried under routes/{name}/registry hid persistence degradation from
+	// operators polling /stats, so the totals and live artifact ids are
+	// aggregated here too.
+	var tagErrs int64
+	live := map[string]any{}
+	anyBound := false
 	for _, h := range hs {
 		routes[h.routeName()] = h.statsValue()
+		if errs, artifact, bound := h.registryHealth(); bound {
+			anyBound = true
+			tagErrs += errs
+			if artifact != "" {
+				live[h.routeName()] = artifact
+			}
+		}
 	}
-	writeJSON(w, map[string]any{
+	out := map[string]any{
 		"uptime": time.Since(s.started).String(),
 		"routes": routes,
-	})
+	}
+	if anyBound {
+		out["registry"] = map[string]any{
+			"tag_errors":     tagErrs,
+			"live_artifacts": live,
+		}
+	}
+	writeJSON(w, out)
 }
 
 // handleRoutes renders the route listing.

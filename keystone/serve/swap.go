@@ -208,10 +208,13 @@ func (g *drainGate) retire() {
 // additionally mirrored to the candidate without waiting on it.
 func (rt *Route[I, O]) predict(ctx context.Context, rec I) (O, int, error) {
 	var zero O
-	if !rt.adm.acquire(1) {
+	// Pin the admitter for the whole request: a concurrent SetAdmission
+	// swap must not split an acquire/release pair across two instances.
+	adm := rt.adm.Load()
+	if !adm.acquire(1) {
 		return zero, 0, ErrOverloaded
 	}
-	defer rt.adm.release(1)
+	defer adm.release(1)
 	tryCanary := true
 	for {
 		v := rt.cur.Load()
@@ -231,7 +234,7 @@ func (rt *Route[I, O]) predict(ctx context.Context, rec I) (O, int, error) {
 					tryCanary = false
 					if s.cand.gate.enter() {
 						v = s.cand
-						if rt.adm.queueFull(v.batcher.QueueDepth()) {
+						if adm.queueFull(v.batcher.QueueDepth()) {
 							v.gate.leave()
 							return zero, 0, ErrOverloaded
 						}
@@ -245,7 +248,7 @@ func (rt *Route[I, O]) predict(ctx context.Context, rec I) (O, int, error) {
 		if !v.gate.enter() {
 			continue // swapped out under us; retry on the successor
 		}
-		if rt.adm.queueFull(v.batcher.QueueDepth()) {
+		if adm.queueFull(v.batcher.QueueDepth()) {
 			v.gate.leave()
 			return zero, 0, ErrOverloaded
 		}
@@ -276,10 +279,11 @@ func (rt *Route[I, O]) servePinned(ctx context.Context, v *version[I, O], rec I)
 // Batches always ride the primary: one batch is one caller-visible unit,
 // so it is never split across a canary boundary.
 func (rt *Route[I, O]) predictBatch(ctx context.Context, recs []I) ([]O, int, error) {
-	if !rt.adm.acquire(int64(len(recs))) {
+	adm := rt.adm.Load()
+	if !adm.acquire(int64(len(recs))) {
 		return nil, 0, ErrOverloaded
 	}
-	defer rt.adm.release(int64(len(recs)))
+	defer adm.release(int64(len(recs)))
 	for {
 		v := rt.cur.Load()
 		if v == nil {
