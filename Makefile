@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet staticcheck docs-check bench-smoke bench bench-sched bench-serve bench-canary bench-dist serve serve-smoke dist-smoke ci
+.PHONY: build test race vet staticcheck docs-check bench-smoke bench bench-sched bench-serve bench-canary bench-dist bench-kernels benchdiff serve serve-smoke dist-smoke ci
 
 build:
 	$(GO) build ./...
@@ -38,7 +38,7 @@ staticcheck:
 docs-check: vet
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then echo "gofmt -l flags:"; echo "$$out"; exit 1; fi
-	$(GO) run ./cmd/doccheck keystone keystone/serve keystone/registry keystone/dist
+	$(GO) run ./cmd/doccheck keystone keystone/serve keystone/registry keystone/dist internal/linalg internal/linalg/kernels
 
 # A short benchmark pass at Quick scale: compiles every benchmark and
 # runs each once, catching bit-rot without CI-hostile runtimes.
@@ -74,6 +74,19 @@ bench-canary:
 bench-dist:
 	$(GO) run ./cmd/keybench -exp dist -benchout /tmp/keystone-bench
 
+# The kernel-backend experiment: reference vs blocked GEMM/TMul/QR/SVD
+# microbenchmarks at GOMAXPROCS 1 and 4, measured-dispatch checks, and
+# end-to-end VOC/CIFAR fit deltas; BENCH_kernels.json lands in
+# /tmp/keystone-bench for benchdiff.
+bench-kernels:
+	$(GO) run ./cmd/keybench -exp kernels -benchout /tmp/keystone-bench
+
+# The perf regression gate: compares the freshly generated kernel
+# numbers against the committed baselines in bench/baseline, failing on
+# any tracked metric that regresses past 15%.
+benchdiff: bench-kernels
+	$(GO) run ./cmd/benchdiff -fresh /tmp/keystone-bench
+
 # The HTTP inference server (trains text + vision pipelines at startup).
 serve:
 	$(GO) run ./cmd/keyserve -routes text,vision
@@ -93,4 +106,4 @@ serve-smoke:
 dist-smoke:
 	$(GO) run ./cmd/distsmoke
 
-ci: docs-check build race bench-smoke serve-smoke dist-smoke
+ci: docs-check build race bench-smoke benchdiff serve-smoke dist-smoke

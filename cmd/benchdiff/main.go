@@ -1,0 +1,146 @@
+// Command benchdiff guards measured performance: it compares freshly
+// generated BENCH_*.json files (keybench -benchout) against the
+// committed baselines under bench/baseline and fails when a tracked
+// metric regresses past the threshold.
+//
+//	benchdiff -fresh /tmp/bench                # compare against bench/baseline
+//	benchdiff -fresh /tmp/bench -threshold 0.3 # looser gate
+//
+// Only metrics named in the tracked manifest are compared, so
+// experiments can add informational fields freely. A missing baseline
+// file is a bootstrap pass (the fresh file is the first measurement and
+// should be committed as the new baseline); a tracked metric missing
+// from a fresh file is a failure, so metrics cannot silently vanish.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+type direction int
+
+const (
+	higherBetter direction = iota
+	lowerBetter
+)
+
+type metricSpec struct {
+	name string
+	dir  direction
+}
+
+// tracked is the regression manifest: per benchmark file, the headline
+// metrics the gate watches.
+var tracked = map[string][]metricSpec{
+	"BENCH_kernels.json": {
+		{"gemm_speedup_small", higherBetter},
+		{"gemm_speedup_large", higherBetter},
+		{"tmul_speedup_large", higherBetter},
+		{"qr_speedup", higherBetter},
+		{"tsvd_speedup", higherBetter},
+		{"e2e_speedup_cifar", higherBetter},
+	},
+}
+
+func main() {
+	baseDir := flag.String("baseline", "bench/baseline", "directory of committed baseline BENCH_*.json files")
+	freshDir := flag.String("fresh", "", "directory of freshly generated BENCH_*.json files (required)")
+	threshold := flag.Float64("threshold", 0.15, "relative regression that fails the gate")
+	flag.Parse()
+	if *freshDir == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -fresh is required")
+		os.Exit(2)
+	}
+
+	failures := 0
+	for name, specs := range tracked {
+		fresh, err := loadBench(filepath.Join(*freshDir, name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", name, err)
+			failures++
+			continue
+		}
+		baseline, err := loadBench(filepath.Join(*baseDir, name))
+		if os.IsNotExist(err) {
+			fmt.Printf("%s: no baseline yet — commit the fresh file to %s to start tracking\n", name, *baseDir)
+			continue
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", name, err)
+			failures++
+			continue
+		}
+		for _, line := range compareBench(name, baseline, fresh, specs, *threshold) {
+			fmt.Println(line.text)
+			if line.fail {
+				failures++
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) past %.0f%%\n", failures, 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: all tracked metrics within threshold")
+}
+
+func loadBench(path string) (map[string]any, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return m, nil
+}
+
+type verdict struct {
+	text string
+	fail bool
+}
+
+// compareBench checks each tracked metric of one benchmark file and
+// returns one verdict per metric. A regression is a relative change
+// past threshold in the losing direction; improvements and small noise
+// pass.
+func compareBench(name string, baseline, fresh map[string]any, specs []metricSpec, threshold float64) []verdict {
+	var out []verdict
+	for _, s := range specs {
+		base, okB := asFloat(baseline[s.name])
+		cur, okF := asFloat(fresh[s.name])
+		switch {
+		case !okF:
+			out = append(out, verdict{fmt.Sprintf("%s %s: missing from fresh results", name, s.name), true})
+		case !okB:
+			out = append(out, verdict{fmt.Sprintf("%s %s: new metric %.3g (no baseline value)", name, s.name, cur), false})
+		default:
+			change := (cur - base) / base
+			regressed := change < -threshold
+			if s.dir == lowerBetter {
+				regressed = change > threshold
+			}
+			status := "ok"
+			if regressed {
+				status = "REGRESSION"
+			}
+			out = append(out, verdict{
+				fmt.Sprintf("%s %s: %.3g -> %.3g (%+.1f%%) %s", name, s.name, base, cur, 100*change, status),
+				regressed,
+			})
+		}
+	}
+	return out
+}
+
+func asFloat(v any) (float64, bool) {
+	f, ok := v.(float64)
+	if !ok || f == 0 {
+		return f, false
+	}
+	return f, true
+}

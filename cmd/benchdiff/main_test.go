@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func countFails(vs []verdict) int {
+	n := 0
+	for _, v := range vs {
+		if v.fail {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCompareBenchRegression(t *testing.T) {
+	specs := []metricSpec{{"speedup", higherBetter}, {"lat_sec", lowerBetter}}
+	base := map[string]any{"speedup": 4.0, "lat_sec": 1.0}
+
+	// Within threshold and improvements pass.
+	ok := map[string]any{"speedup": 3.6, "lat_sec": 1.1}
+	if got := countFails(compareBench("b", base, ok, specs, 0.15)); got != 0 {
+		t.Errorf("within-threshold run failed %d metrics", got)
+	}
+	// Higher-better metric dropping past threshold fails.
+	slow := map[string]any{"speedup": 3.0, "lat_sec": 1.0}
+	if got := countFails(compareBench("b", base, slow, specs, 0.15)); got != 1 {
+		t.Errorf("speedup regression: %d failures, want 1", got)
+	}
+	// Lower-better metric rising past threshold fails.
+	lag := map[string]any{"speedup": 4.0, "lat_sec": 1.3}
+	if got := countFails(compareBench("b", base, lag, specs, 0.15)); got != 1 {
+		t.Errorf("latency regression: %d failures, want 1", got)
+	}
+}
+
+func TestCompareBenchMissingMetric(t *testing.T) {
+	specs := []metricSpec{{"speedup", higherBetter}}
+	base := map[string]any{"speedup": 2.0}
+	vs := compareBench("b", base, map[string]any{}, specs, 0.15)
+	if countFails(vs) != 1 || !strings.Contains(vs[0].text, "missing") {
+		t.Errorf("dropped metric must fail: %+v", vs)
+	}
+	// Metric new in fresh (absent from baseline) passes with a note.
+	vs = compareBench("b", map[string]any{}, base, specs, 0.15)
+	if countFails(vs) != 0 || !strings.Contains(vs[0].text, "no baseline") {
+		t.Errorf("new metric must pass: %+v", vs)
+	}
+}
+
+func TestTrackedManifestCoversKernels(t *testing.T) {
+	specs, ok := tracked["BENCH_kernels.json"]
+	if !ok || len(specs) < 4 {
+		t.Fatalf("kernels manifest missing or too small: %v", specs)
+	}
+	for _, s := range specs {
+		if s.dir != higherBetter {
+			t.Errorf("%s: kernel metrics are speedups (higher better)", s.name)
+		}
+	}
+}

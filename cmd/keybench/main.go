@@ -7,7 +7,8 @@
 //	keybench -scale full     # larger sizes, sharper ratios
 //
 // Experiments: table1 fig6 table2 fig7 costmodel table3 table5 fig8
-// table6 fig9 fig10 fig11 fig12 parallel sched serve canary dist.
+// table6 fig9 fig10 fig11 fig12 parallel sched serve canary dist
+// kernels.
 //
 // With -benchout DIR each experiment additionally writes its headline
 // numbers as DIR/BENCH_<name>.json for machine consumption.
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig6, table2, fig7, costmodel, table3, table5, fig8, table6, fig9, fig10, fig11, fig12, parallel, sched, serve, canary, dist)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig6, table2, fig7, costmodel, table3, table5, fig8, table6, fig9, fig10, fig11, fig12, parallel, sched, serve, canary, dist, kernels)")
 	benchOut := flag.String("benchout", "", "directory for machine-readable BENCH_*.json results (empty = off)")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	flag.Parse()
@@ -57,6 +58,7 @@ func main() {
 		{"serve", func() { experiments.ServeAutotune(w, scale) }},
 		{"canary", func() { experiments.ServeCanary(w, scale) }},
 		{"dist", func() { experiments.DistFit(w, scale) }},
+		{"kernels", func() { experiments.Kernels(w, scale) }},
 	}
 
 	ran := false

@@ -1,9 +1,12 @@
 package cluster
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"time"
+
+	"keystoneml/internal/linalg"
 )
 
 // Microbenchmarks holds locally measured hardware characteristics. The
@@ -13,6 +16,20 @@ type Microbenchmarks struct {
 	Cores          int
 	GFLOPs         float64 // multi-core fused multiply-add throughput
 	MemBandwidthGB float64 // large-array copy bandwidth
+	// KernelProbes times the reference vs blocked linalg backends on
+	// small/medium/large shapes per op class; the derived crossover
+	// drives kernel dispatch (Choose) the same way the descriptor
+	// drives operator selection in the paper.
+	KernelProbes []KernelProbe
+}
+
+// KernelProbe records one reference-vs-blocked shape timing.
+type KernelProbe struct {
+	Op           string  // "gemm", "gemv", or "axpy"
+	Size         int     // square edge (gemm/gemv) or vector length
+	Flops        float64 // work per call, used as the dispatch axis
+	ReferenceSec float64
+	BlockedSec   float64
 }
 
 var (
@@ -29,9 +46,133 @@ func RunMicrobenchmarks() Microbenchmarks {
 			Cores:          runtime.NumCPU(),
 			GFLOPs:         measureGFLOPs(),
 			MemBandwidthGB: measureMemBandwidth(),
+			KernelProbes:   measureKernelProbes(),
 		}
 	})
 	return microResult
+}
+
+var crossoverOnce sync.Once
+
+// InstallKernelCrossover runs the microbenchmarks (cached) and publishes
+// the probe-derived dispatch thresholds to the linalg backend registry.
+// Until this runs, linalg.Choose in Auto mode stays on the reference
+// backend — dispatch to the blocked kernels is earned by measurement.
+func InstallKernelCrossover() {
+	crossoverOnce.Do(func() {
+		mb := RunMicrobenchmarks()
+		linalg.InstallCrossover(DeriveCrossover(mb.KernelProbes))
+	})
+}
+
+// measureKernelProbes times the reference and blocked backends head to
+// head on small/medium/large shapes of each dispatchable op class.
+func measureKernelProbes() []KernelProbe {
+	rng := linalg.NewRNG(0x5ee0)
+	var probes []KernelProbe
+	for _, size := range []int{32, 128, 256} {
+		a := rng.GaussianMatrix(size, size)
+		b := rng.GaussianMatrix(size, size)
+		out := linalg.NewMatrix(size, size)
+		run := func(be linalg.Backend) float64 {
+			return bestOf(3, func() {
+				for i := range out.Data {
+					out.Data[i] = 0
+				}
+				be.Mul(out.Data, a.Data, b.Data, size, size, size)
+			})
+		}
+		probes = append(probes, KernelProbe{
+			Op:           "gemm",
+			Size:         size,
+			Flops:        2 * float64(size) * float64(size) * float64(size),
+			ReferenceSec: run(linalg.Reference()),
+			BlockedSec:   run(linalg.Blocked()),
+		})
+	}
+	for _, size := range []int{48, 384} {
+		a := rng.GaussianMatrix(size, size)
+		x := rng.GaussianVector(size)
+		y := make([]float64, size)
+		run := func(be linalg.Backend) float64 {
+			return bestOf(5, func() {
+				for i := range y {
+					y[i] = 0
+				}
+				be.GemvT(a.Data, size, size, size, x, y)
+			})
+		}
+		probes = append(probes, KernelProbe{
+			Op:           "gemv",
+			Size:         size,
+			Flops:        2 * float64(size) * float64(size),
+			ReferenceSec: run(linalg.Reference()),
+			BlockedSec:   run(linalg.Blocked()),
+		})
+	}
+	for _, size := range []int{256, 8192} {
+		x := rng.GaussianVector(size)
+		y := rng.GaussianVector(size)
+		run := func(be linalg.Backend) float64 {
+			return bestOf(9, func() { be.Axpy(0.5, x, y) })
+		}
+		probes = append(probes, KernelProbe{
+			Op:           "axpy",
+			Size:         size,
+			Flops:        2 * float64(size),
+			ReferenceSec: run(linalg.Reference()),
+			BlockedSec:   run(linalg.Blocked()),
+		})
+	}
+	return probes
+}
+
+// bestOf returns the fastest of reps timed runs of fn.
+func bestOf(reps int, fn func()) float64 {
+	best := math.Inf(1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		fn()
+		if s := time.Since(start).Seconds(); s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// DeriveCrossover converts head-to-head probe timings into dispatch
+// thresholds: for each op class, the threshold sits at the geometric
+// midpoint between the largest shape the reference backend won and the
+// smallest shape the blocked backend won. If the blocked backend won
+// every probe the threshold is 0 (always blocked); if it won none, +Inf
+// (never blocked).
+func DeriveCrossover(probes []KernelProbe) linalg.Crossover {
+	threshold := func(op string) float64 {
+		firstBlkWin := math.Inf(1)
+		for _, p := range probes {
+			if p.Op == op && p.BlockedSec < p.ReferenceSec && p.Flops < firstBlkWin {
+				firstBlkWin = p.Flops
+			}
+		}
+		if math.IsInf(firstBlkWin, 1) {
+			return firstBlkWin
+		}
+		var lastRefWin float64
+		for _, p := range probes {
+			if p.Op == op && p.BlockedSec >= p.ReferenceSec && p.Flops < firstBlkWin && p.Flops > lastRefWin {
+				lastRefWin = p.Flops
+			}
+		}
+		if lastRefWin == 0 {
+			return 0
+		}
+		return math.Sqrt(lastRefWin * firstBlkWin)
+	}
+	return linalg.Crossover{
+		GemmFlops: threshold("gemm"),
+		GemvFlops: threshold("gemv"),
+		VecFlops:  threshold("axpy"),
+	}
 }
 
 // measureGFLOPs times a fixed count of dependent-free multiply-adds across

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -88,8 +89,58 @@ func TestMicrobenchmarksPlausible(t *testing.T) {
 		t.Errorf("implausible memory bandwidth %g", mb.MemBandwidthGB)
 	}
 	// Cached: second call returns the identical measurement.
-	if mb2 := RunMicrobenchmarks(); mb2 != mb {
+	mb2 := RunMicrobenchmarks()
+	if mb2.GFLOPs != mb.GFLOPs || mb2.MemBandwidthGB != mb.MemBandwidthGB || len(mb2.KernelProbes) != len(mb.KernelProbes) {
 		t.Error("microbenchmarks not cached")
+	}
+}
+
+func TestKernelProbesAndCrossover(t *testing.T) {
+	mb := RunMicrobenchmarks()
+	ops := map[string]int{}
+	for _, p := range mb.KernelProbes {
+		ops[p.Op]++
+		if p.ReferenceSec <= 0 || p.BlockedSec <= 0 || p.Flops <= 0 {
+			t.Errorf("implausible probe %+v", p)
+		}
+	}
+	if ops["gemm"] < 3 || ops["gemv"] < 2 || ops["axpy"] < 2 {
+		t.Errorf("missing probe coverage: %v", ops)
+	}
+	c := DeriveCrossover(mb.KernelProbes)
+	if c.GemmFlops < 0 || math.IsNaN(c.GemmFlops) {
+		t.Errorf("bad gemm threshold %g", c.GemmFlops)
+	}
+}
+
+func TestDeriveCrossoverRules(t *testing.T) {
+	// Blocked never wins: threshold +Inf.
+	c := DeriveCrossover([]KernelProbe{
+		{Op: "gemm", Flops: 100, ReferenceSec: 1, BlockedSec: 2},
+		{Op: "gemm", Flops: 1e6, ReferenceSec: 1, BlockedSec: 2},
+	})
+	if !math.IsInf(c.GemmFlops, 1) {
+		t.Errorf("all-reference threshold = %g, want +Inf", c.GemmFlops)
+	}
+	// Blocked wins everywhere: threshold 0.
+	c = DeriveCrossover([]KernelProbe{
+		{Op: "gemm", Flops: 100, ReferenceSec: 2, BlockedSec: 1},
+		{Op: "gemm", Flops: 1e6, ReferenceSec: 2, BlockedSec: 1},
+	})
+	if c.GemmFlops != 0 {
+		t.Errorf("all-blocked threshold = %g, want 0", c.GemmFlops)
+	}
+	// Split: geometric midpoint between the ref win and the blocked win.
+	c = DeriveCrossover([]KernelProbe{
+		{Op: "gemm", Flops: 1e4, ReferenceSec: 1, BlockedSec: 2},
+		{Op: "gemm", Flops: 1e6, ReferenceSec: 2, BlockedSec: 1},
+	})
+	if c.GemmFlops != 1e5 {
+		t.Errorf("split threshold = %g, want 1e5", c.GemmFlops)
+	}
+	// Absent op class: +Inf (never dispatch on unmeasured data).
+	if !math.IsInf(c.GemvFlops, 1) || !math.IsInf(c.VecFlops, 1) {
+		t.Errorf("unmeasured classes should be +Inf, got %g / %g", c.GemvFlops, c.VecFlops)
 	}
 }
 

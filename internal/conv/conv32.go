@@ -1,0 +1,100 @@
+package conv
+
+import (
+	"sync"
+
+	"keystoneml/internal/cost"
+	"keystoneml/internal/image"
+	"keystoneml/internal/linalg/kernels"
+)
+
+// BLAS32 is the float32 im2col + GEMM scheme: the same patch unrolling
+// as BLAS but with single-precision scratch and the float32 blocked
+// GEMM, halving memory traffic through the cache hierarchy. It is the
+// one strategy whose output is NOT bit-identical to Direct — results
+// carry float32 rounding (~1e-6 relative; see ARCHITECTURE.md
+// Contract 5) — so it never appears in the default Options() set and
+// must be opted into via Convolver.Float32 or an explicit Strategy.
+type BLAS32 struct{}
+
+// Name implements Strategy.
+func (BLAS32) Name() string { return "conv.blas32" }
+
+// f32Pool recycles im2col scratch across Convolve calls: serving
+// workloads convolve thousands of same-shaped images, and the patch
+// matrix is by far the largest transient allocation on that path.
+var f32Pool = sync.Pool{New: func() any { return new([]float32) }}
+
+// getF32 leases a zeroed float32 buffer of length n from the pool.
+func getF32(n int) (*[]float32, []float32) {
+	p := f32Pool.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	s := (*p)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return p, s
+}
+
+// Convolve implements Strategy.
+func (BLAS32) Convolve(im *image.Image, fb *FilterBank) *image.Image {
+	checkDims(im, fb)
+	k := fb.K
+	mw := im.Width - k + 1
+	mh := im.Height - k + 1
+	d := im.Channels
+	cols := d * k * k
+	rows := mw * mh
+	pPatch, patches := getF32(rows * cols)
+	defer f32Pool.Put(pPatch)
+	for y := 0; y < mh; y++ {
+		for x := 0; x < mw; x++ {
+			row := patches[(y*mw+x)*cols:]
+			idx := 0
+			for c := 0; c < d; c++ {
+				src := im.Plane(c)
+				for dy := 0; dy < k; dy++ {
+					base := (y+dy)*im.Width + x
+					for dx := 0; dx < k; dx++ {
+						row[idx+dx] = float32(src[base+dx])
+					}
+					idx += k
+				}
+			}
+		}
+	}
+	pFilt, filt := getF32(cols * fb.NumFilters)
+	defer f32Pool.Put(pFilt)
+	for f := 0; f < fb.NumFilters; f++ {
+		for i := 0; i < cols; i++ {
+			filt[i*fb.NumFilters+f] = float32(fb.Weights[f][i])
+		}
+	}
+	pProd, prod := getF32(rows * fb.NumFilters)
+	defer f32Pool.Put(pProd)
+	kernels.Gemm32(prod, patches, filt, rows, cols, fb.NumFilters)
+	out := image.New(mw, mh, fb.NumFilters)
+	for f := 0; f < fb.NumFilters; f++ {
+		dst := out.Plane(f)
+		for i := 0; i < rows; i++ {
+			dst[i] = float64(prod[i*fb.NumFilters+f])
+		}
+	}
+	return out
+}
+
+// blas32Cost halves the effective FLOP cost of the float64 GEMM scheme:
+// single precision doubles the elements per cache line and per SIMD
+// lane on the bandwidth-bound im2col path.
+type blas32Cost struct{ bank *FilterBank }
+
+func (blas32Cost) Name() string { return "conv.blas32" }
+
+func (c blas32Cost) Cost(st cost.DataStats, workers int) cost.Profile {
+	p := blasCost{bank: c.bank}.Cost(st, workers)
+	p.Flops /= 2
+	p.Bytes /= 2
+	return p
+}

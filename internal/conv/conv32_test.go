@@ -1,0 +1,75 @@
+package conv
+
+import (
+	"math"
+	"testing"
+
+	"keystoneml/internal/cost"
+	"keystoneml/internal/linalg"
+)
+
+// TestBLAS32MatchesDirect pins the documented float32 tolerance: the
+// single-precision path agrees with the float64 oracle to relative
+// ~1e-6 (scaled by the accumulation depth), never bit-exactly.
+func TestBLAS32MatchesDirect(t *testing.T) {
+	im := randomImage(21, 20, 16, 3)
+	fb := RandomFilterBank(5, 3, 4, linalg.NewRNG(22))
+	want := Direct{}.Convolve(im, fb)
+	got := BLAS32{}.Convolve(im, fb)
+	if got.Width != want.Width || got.Height != want.Height || got.Channels != want.Channels {
+		t.Fatalf("shape %dx%dx%d, want %dx%dx%d",
+			got.Width, got.Height, got.Channels, want.Width, want.Height, want.Channels)
+	}
+	// cols = d*k*k accumulation steps, each contributing up to one
+	// float32 ulp of the running magnitude.
+	var maxAbs float64
+	for _, v := range want.Pix {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	tol := 1e-6 * float64(3*5*5) * math.Max(maxAbs, 1)
+	for i := range want.Pix {
+		if math.Abs(want.Pix[i]-got.Pix[i]) > tol {
+			t.Fatalf("pixel %d: blas32 %g vs direct %g (tol %g)",
+				i, got.Pix[i], want.Pix[i], tol)
+		}
+	}
+}
+
+// TestBLAS32PoolReuse exercises the scratch pool across differently
+// shaped calls: stale contents from a larger lease must never leak
+// into a smaller one.
+func TestBLAS32PoolReuse(t *testing.T) {
+	big := randomImage(31, 24, 24, 3)
+	small := randomImage(32, 10, 10, 2)
+	fbBig := RandomFilterBank(5, 3, 4, linalg.NewRNG(33))
+	fbSmall := RandomFilterBank(3, 2, 2, linalg.NewRNG(34))
+	BLAS32{}.Convolve(big, fbBig) // populate pool with large buffers
+	want := Direct{}.Convolve(small, fbSmall)
+	got := BLAS32{}.Convolve(small, fbSmall)
+	if !imagesClose(want, got, 1e-4) {
+		t.Error("pooled scratch leaked stale data into a smaller convolution")
+	}
+}
+
+// TestFloat32IsOptIn pins the accuracy contract: the lossy strategy is
+// absent from the default option set and appears only when the caller
+// sets Float32.
+func TestFloat32IsOptIn(t *testing.T) {
+	bank := RandomFilterBank(3, 1, 2, linalg.NewRNG(40))
+	names := func(opts []cost.Option) map[string]bool {
+		m := map[string]bool{}
+		for _, o := range opts {
+			m[o.Model.Name()] = true
+		}
+		return m
+	}
+	if names((&Convolver{Bank: bank}).Options())["conv.blas32"] {
+		t.Error("blas32 offered without opt-in")
+	}
+	opted := names((&Convolver{Bank: bank, Float32: true}).Options())
+	if !opted["conv.blas32"] {
+		t.Error("blas32 missing after opt-in")
+	}
+}

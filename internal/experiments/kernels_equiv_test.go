@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"keystoneml/internal/cluster"
+	"keystoneml/internal/core"
+	"keystoneml/internal/engine"
+	"keystoneml/internal/linalg"
+	"keystoneml/internal/optimizer"
+)
+
+// TestKernelBackendEquivalence is the kernel dispatch contract
+// (ARCHITECTURE.md Contract 5) checked end to end: for every evaluation
+// pipeline, fitting the same optimized plan under pinned reference
+// kernels, pinned blocked kernels, and measured Auto dispatch must
+// produce bit-identical training outputs and bit-identical fitted-model
+// predictions. The blocked kernels preserve per-element accumulation
+// order, so any float64 divergence at all is a kernel bug, not
+// tolerance.
+func TestKernelBackendEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	oldMode := linalg.Mode()
+	defer linalg.SetBackendMode(oldMode)
+	// Install the measured crossover so Auto genuinely dispatches to the
+	// blocked kernels on large shapes rather than degenerating to
+	// reference everywhere.
+	cluster.InstallKernelCrossover()
+
+	for _, spec := range equivalenceSpecs() {
+		spec := spec
+		t.Run(spec.name, func(t *testing.T) {
+			g := spec.build()
+			cfg := optimizer.Config{
+				Level:       optimizer.LevelPipeline, // deterministic planning
+				Resources:   cluster.Local(4),
+				NumClasses:  spec.numClasses,
+				SampleSizes: [2]int{8, 16},
+			}
+			linalg.SetBackendMode(linalg.ModeReference)
+			plan := optimizer.Optimize(g, spec.train.Data, spec.train.Labels, cfg)
+
+			runWith := func(m linalg.BackendMode) (*engine.Collection, *engine.Collection) {
+				linalg.SetBackendMode(m)
+				defer linalg.SetBackendMode(linalg.ModeReference)
+				models, out, _ := plan.Execute(spec.train.Data, spec.train.Labels, 4)
+				fitted := core.NewFitted(plan.Graph, models, engine.NewContext(4))
+				return out, fitted.Apply(spec.test.Data)
+			}
+
+			refOut, refPred := runWith(linalg.ModeReference)
+			for _, m := range []linalg.BackendMode{linalg.ModeBlocked, linalg.ModeAuto} {
+				out, pred := runWith(m)
+				floatsEqual(t, spec.name+"/train-output", refOut, out)
+				floatsEqual(t, spec.name+"/test-predictions", refPred, pred)
+			}
+		})
+	}
+}

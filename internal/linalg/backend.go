@@ -1,0 +1,280 @@
+package linalg
+
+import (
+	"sync/atomic"
+
+	"keystoneml/internal/linalg/kernels"
+)
+
+// Backend is the pluggable kernel layer behind the dense primitives.
+// Two implementations ship: "reference" (the original straight-line
+// loops, always correct, zero dispatch surprises) and "blocked"
+// (register-blocked packed GEMM, strided panel kernels, worker-pool
+// parallelism from internal/linalg/kernels). Both preserve per-element
+// accumulation order, so float64 results are bit-identical between
+// backends on finite inputs; see the tolerance table in
+// ARCHITECTURE.md Contract 5.
+//
+// All matrix arguments are contiguous row-major slices. Mul and TMul
+// accumulate into dst (callers pass zeroed output buffers).
+type Backend interface {
+	// Name identifies the backend ("reference" or "blocked").
+	Name() string
+	// Mul accumulates dst += a*b where a is m x k, b is k x n.
+	Mul(dst, a, b []float64, m, k, n int)
+	// TMul accumulates dst += aᵀ*b where a is r x m and b is r x n.
+	TMul(dst, a, b []float64, r, m, n int)
+	// Gemv computes y[i] = dot(row i of a, x) for the rows x cols panel
+	// a with leading dimension lda.
+	Gemv(a []float64, lda, rows, cols int, x, y []float64)
+	// GemvT accumulates y += aᵀx for the rows x cols panel a.
+	GemvT(a []float64, lda, rows, cols int, x, y []float64)
+	// Ger applies the rank-1 update a += alpha * x * yᵀ to the panel a.
+	Ger(a []float64, lda, rows, cols int, alpha float64, x, y []float64)
+	// Dot returns the inner product of two equal-length vectors.
+	Dot(a, b []float64) float64
+	// Axpy computes y += alpha*x.
+	Axpy(alpha float64, x, y []float64)
+}
+
+// Op names a kernel operation class for dispatch decisions.
+type Op int
+
+// Kernel operation classes consulted by Choose.
+const (
+	OpGemm Op = iota
+	OpTMul
+	OpGemv
+	OpGemvT
+	OpGer
+	OpDot
+	OpAxpy
+)
+
+// BackendMode selects how Choose dispatches between backends.
+type BackendMode int32
+
+// Backend selection modes. ModeAuto consults the installed Crossover
+// (measured by cluster microbenchmarks) and falls back to the reference
+// backend when no measurement has been installed.
+const (
+	ModeAuto BackendMode = iota
+	ModeReference
+	ModeBlocked
+)
+
+var backendMode atomic.Int32
+
+// SetBackendMode sets the process-wide kernel dispatch mode.
+func SetBackendMode(m BackendMode) { backendMode.Store(int32(m)) }
+
+// Mode returns the current kernel dispatch mode.
+func Mode() BackendMode { return BackendMode(backendMode.Load()) }
+
+// Crossover holds measured dispatch thresholds in flops: at or above
+// the threshold the blocked backend wins, below it the reference
+// backend does. Thresholds come from cluster.RunMicrobenchmarks GEMM
+// shape probes, not from hardcoded constants. A +Inf threshold means
+// the blocked backend never won the probes for that op class.
+type Crossover struct {
+	// GemmFlops gates OpGemm/OpTMul on 2*m*k*n flops.
+	GemmFlops float64
+	// GemvFlops gates OpGemv/OpGemvT/OpGer on 2*rows*cols flops.
+	GemvFlops float64
+	// VecFlops gates OpDot/OpAxpy on 2*len flops.
+	VecFlops float64
+}
+
+var crossover atomic.Pointer[Crossover]
+
+// InstallCrossover publishes measured dispatch thresholds; ModeAuto
+// consults them on every call. Installing replaces any previous table.
+func InstallCrossover(c Crossover) { crossover.Store(&c) }
+
+// ClearCrossover removes the measured thresholds, returning ModeAuto to
+// its reference fallback.
+func ClearCrossover() { crossover.Store(nil) }
+
+// InstalledCrossover returns the current thresholds and whether any are
+// installed.
+func InstalledCrossover() (Crossover, bool) {
+	p := crossover.Load()
+	if p == nil {
+		return Crossover{}, false
+	}
+	return *p, true
+}
+
+// Reference returns the straight-line reference backend.
+func Reference() Backend { return refBackend }
+
+// Blocked returns the register-blocked parallel backend.
+func Blocked() Backend { return blkBackend }
+
+// Choose returns the backend to run op on an m x k x n shaped problem
+// (vector ops pass their length as m with k = n = 1). In ModeAuto with
+// no installed crossover — no microbenchmark has run — it returns the
+// reference backend: dispatch to the blocked kernels must be earned by
+// measurement.
+func Choose(op Op, m, k, n int) Backend {
+	switch BackendMode(backendMode.Load()) {
+	case ModeReference:
+		return refBackend
+	case ModeBlocked:
+		return blkBackend
+	}
+	c := crossover.Load()
+	if c == nil {
+		return refBackend
+	}
+	flops := 2 * float64(m) * float64(k) * float64(n)
+	var threshold float64
+	switch op {
+	case OpGemm, OpTMul:
+		threshold = c.GemmFlops
+	case OpGemv, OpGemvT, OpGer:
+		threshold = c.GemvFlops
+	default:
+		threshold = c.VecFlops
+	}
+	if flops >= threshold {
+		return blkBackend
+	}
+	return refBackend
+}
+
+// SetKernelParallelism bounds the kernel worker pool to n workers total
+// (n-1 helpers beyond the calling goroutine). The keystone facade calls
+// this with the engine context's parallelism so kernel fan-out composes
+// with the DAG executor's pool instead of oversubscribing it; n <= 0
+// restores the GOMAXPROCS default.
+func SetKernelParallelism(n int) { kernels.SetHelperBudget(n) }
+
+var (
+	refBackend Backend = referenceBackend{}
+	blkBackend Backend = blockedBackend{}
+)
+
+// referenceBackend is the original straight-line kernel code, verbatim.
+// It skips zero multiplicands in GEMM-class loops (a win on one-hot
+// feature blocks) where the blocked backend multiplies through — the
+// source of the signed-zero caveat in the tolerance table.
+type referenceBackend struct{}
+
+func (referenceBackend) Name() string { return "reference" }
+
+func (referenceBackend) Mul(dst, a, b []float64, m, k, n int) {
+	for ii := 0; ii < m; ii += gemmBlock {
+		iMax := min(ii+gemmBlock, m)
+		for kk := 0; kk < k; kk += gemmBlock {
+			kMax := min(kk+gemmBlock, k)
+			for jj := 0; jj < n; jj += gemmBlock {
+				jMax := min(jj+gemmBlock, n)
+				for i := ii; i < iMax; i++ {
+					arow := a[i*k : i*k+k]
+					drow := dst[i*n : i*n+n]
+					for p := kk; p < kMax; p++ {
+						av := arow[p]
+						if av == 0 {
+							continue
+						}
+						brow := b[p*n : p*n+n]
+						for j := jj; j < jMax; j++ {
+							drow[j] += av * brow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (referenceBackend) TMul(dst, a, b []float64, r, m, n int) {
+	for p := 0; p < r; p++ {
+		arow := a[p*m : p*m+m]
+		brow := b[p*n : p*n+n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst[i*n : i*n+n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+func (referenceBackend) Gemv(a []float64, lda, rows, cols int, x, y []float64) {
+	for i := 0; i < rows; i++ {
+		row := a[i*lda : i*lda+cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}
+
+func (referenceBackend) GemvT(a []float64, lda, rows, cols int, x, y []float64) {
+	for i := 0; i < rows; i++ {
+		xi := x[i]
+		row := a[i*lda : i*lda+cols]
+		for j, v := range row {
+			y[j] += xi * v
+		}
+	}
+}
+
+func (referenceBackend) Ger(a []float64, lda, rows, cols int, alpha float64, x, y []float64) {
+	for i := 0; i < rows; i++ {
+		s := alpha * x[i]
+		row := a[i*lda : i*lda+cols]
+		for j, v := range y[:cols] {
+			row[j] += s * v
+		}
+	}
+}
+
+func (referenceBackend) Dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+func (referenceBackend) Axpy(alpha float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// blockedBackend routes every op to internal/linalg/kernels.
+type blockedBackend struct{}
+
+func (blockedBackend) Name() string { return "blocked" }
+
+func (blockedBackend) Mul(dst, a, b []float64, m, k, n int) {
+	kernels.Gemm(dst, a, b, m, k, n)
+}
+
+func (blockedBackend) TMul(dst, a, b []float64, r, m, n int) {
+	kernels.GemmT(dst, a, b, r, m, n)
+}
+
+func (blockedBackend) Gemv(a []float64, lda, rows, cols int, x, y []float64) {
+	kernels.Gemv(a, lda, rows, cols, x, y)
+}
+
+func (blockedBackend) GemvT(a []float64, lda, rows, cols int, x, y []float64) {
+	kernels.GemvT(a, lda, rows, cols, x, y)
+}
+
+func (blockedBackend) Ger(a []float64, lda, rows, cols int, alpha float64, x, y []float64) {
+	kernels.Ger(a, lda, rows, cols, alpha, x, y)
+}
+
+func (blockedBackend) Dot(a, b []float64) float64 { return kernels.Dot(a, b) }
+
+func (blockedBackend) Axpy(alpha float64, x, y []float64) { kernels.Axpy(alpha, x, y) }

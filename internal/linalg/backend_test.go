@@ -1,0 +1,212 @@
+package linalg
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// withMode runs fn under the given dispatch mode, restoring the prior
+// mode and crossover table afterwards.
+func withMode(t *testing.T, mode BackendMode, fn func()) {
+	t.Helper()
+	prevMode := Mode()
+	prevCross, hadCross := InstalledCrossover()
+	defer func() {
+		SetBackendMode(prevMode)
+		if hadCross {
+			InstallCrossover(prevCross)
+		} else {
+			ClearCrossover()
+		}
+	}()
+	SetBackendMode(mode)
+	fn()
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// sameBits requires exact float64 equality (±0 compare equal under !=,
+// which is the documented signed-zero allowance).
+func sameBits(t *testing.T, ctx string, a, b *Matrix) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", ctx, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("%s: elem %d differs: %v vs %v", ctx, i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+// TestCrossBackendEquivalence pins the Contract 5 tolerance table for
+// float64: blocked and reference backends produce identical results for
+// every op over random shapes including degenerate 0- and 1-dim cases.
+func TestCrossBackendEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := [][3]int{
+		{0, 0, 0}, {0, 3, 2}, {1, 1, 1}, {1, 5, 1}, {3, 1, 4},
+		{4, 4, 4}, {5, 7, 3}, {17, 9, 13}, {33, 32, 31}, {64, 20, 48},
+	}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randMatrix(rng, m, k)
+		b := randMatrix(rng, k, n)
+		at := randMatrix(rng, k, m) // for TMul: aᵀt has k rows
+		x := make([]float64, k)
+		xr := make([]float64, m)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range xr {
+			xr[i] = rng.NormFloat64()
+		}
+		var refMul, blkMul, refT, blkT *Matrix
+		var refMV, blkMV, refTV, blkTV []float64
+		withMode(t, ModeReference, func() {
+			refMul = a.Mul(b)
+			refT = at.TMul(b)
+			refMV = a.MulVec(x)
+			refTV = a.TMulVec(xr)
+		})
+		withMode(t, ModeBlocked, func() {
+			blkMul = a.Mul(b)
+			blkT = at.TMul(b)
+			blkMV = a.MulVec(x)
+			blkTV = a.TMulVec(xr)
+		})
+		sameBits(t, "Mul", refMul, blkMul)
+		sameBits(t, "TMul", refT, blkT)
+		for i := range refMV {
+			if refMV[i] != blkMV[i] {
+				t.Fatalf("MulVec %v: elem %d differs", sh, i)
+			}
+		}
+		for i := range refTV {
+			if refTV[i] != blkTV[i] {
+				t.Fatalf("TMulVec %v: elem %d differs", sh, i)
+			}
+		}
+	}
+}
+
+// TestCrossBackendQRSVD pins factorization-level equivalence: QR, least
+// squares, and truncated SVD are bit-identical across backends.
+func TestCrossBackendQRSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, sh := range [][2]int{{1, 1}, {5, 3}, {16, 16}, {60, 12}, {33, 7}} {
+		m, n := sh[0], sh[1]
+		a := randMatrix(rng, m, n)
+		bmat := randMatrix(rng, m, 3)
+		var refQ, refR, refX, blkQ, blkR, blkX *Matrix
+		var refS, blkS []float64
+		withMode(t, ModeReference, func() {
+			f := QR(a)
+			refQ, refR = f.Q, f.R
+			refX = LeastSquaresQR(a, bmat)
+			sf := TruncatedSVD(a, minInt(3, n), 1, NewRNG(9))
+			refS = sf.S
+		})
+		withMode(t, ModeBlocked, func() {
+			f := QR(a)
+			blkQ, blkR = f.Q, f.R
+			blkX = LeastSquaresQR(a, bmat)
+			sf := TruncatedSVD(a, minInt(3, n), 1, NewRNG(9))
+			blkS = sf.S
+		})
+		sameBits(t, "QR.Q", refQ, blkQ)
+		sameBits(t, "QR.R", refR, blkR)
+		sameBits(t, "LeastSquaresQR", refX, blkX)
+		for i := range refS {
+			if refS[i] != blkS[i] {
+				t.Fatalf("TruncatedSVD %v: singular value %d differs: %v vs %v", sh, i, refS[i], blkS[i])
+			}
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestChooseFallsBackToReference pins the dispatch rule: in ModeAuto
+// with no microbenchmark-derived crossover installed, every op routes
+// to the reference backend no matter the shape.
+func TestChooseFallsBackToReference(t *testing.T) {
+	withMode(t, ModeAuto, func() {
+		ClearCrossover()
+		for _, op := range []Op{OpGemm, OpTMul, OpGemv, OpGemvT, OpGer, OpDot, OpAxpy} {
+			if got := Choose(op, 4096, 4096, 4096).Name(); got != "reference" {
+				t.Fatalf("Choose(op %d) with no crossover = %q, want reference", op, got)
+			}
+		}
+		InstallCrossover(Crossover{GemmFlops: 1e6, GemvFlops: 1e5, VecFlops: 1e4})
+		if got := Choose(OpGemm, 256, 256, 256).Name(); got != "blocked" {
+			t.Fatalf("Choose(OpGemm, large) above threshold = %q, want blocked", got)
+		}
+		if got := Choose(OpGemm, 4, 4, 4).Name(); got != "reference" {
+			t.Fatalf("Choose(OpGemm, small) below threshold = %q, want reference", got)
+		}
+	})
+}
+
+// TestParallelGemmRace exercises the blocked parallel GEMM from many
+// goroutines at GOMAXPROCS 1 and 4; run with -race this pins that tile
+// fan-out never writes overlapping output regions.
+func TestParallelGemmRace(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	rng := rand.New(rand.NewSource(3))
+	a := randMatrix(rng, 70, 40)
+	b := randMatrix(rng, 40, 50)
+	var want *Matrix
+	withMode(t, ModeReference, func() { want = a.Mul(b) })
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		var wg sync.WaitGroup
+		errs := make(chan string, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out := NewMatrix(a.Rows, b.Cols)
+				Blocked().Mul(out.Data, a.Data, b.Data, a.Rows, a.Cols, b.Cols)
+				for i := range out.Data {
+					if out.Data[i] != want.Data[i] {
+						errs <- "blocked GEMM result diverged under concurrency"
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatalf("GOMAXPROCS=%d: %s", procs, e)
+		}
+	}
+}
+
+// BenchmarkQRTall tracks the QR hot path on a tall-skinny matrix (the
+// TSQR per-partition shape). Run with -benchmem: the flat Householder
+// scratch keeps allocations per op constant instead of linear in cols.
+func BenchmarkQRTall(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	a := randMatrix(rng, 512, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = QR(a)
+	}
+}

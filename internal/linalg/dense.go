@@ -11,6 +11,8 @@ package linalg
 import (
 	"fmt"
 	"math"
+
+	"keystoneml/internal/linalg/kernels"
 )
 
 // Matrix is a dense row-major matrix of float64 values.
@@ -63,13 +65,21 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
-// Col extracts column j into a newly allocated slice.
+// Col extracts column j into a newly allocated slice. Hot loops should
+// prefer ColInto with a reused scratch buffer.
 func (m *Matrix) Col(j int) []float64 {
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = m.Data[i*m.Cols+j]
-	}
+	kernels.GatherCol(out, m.Data, m.Cols, m.Rows, j)
 	return out
+}
+
+// ColInto copies column j into dst, which must have length Rows. It is
+// the allocation-free variant of Col for per-iteration column access.
+func (m *Matrix) ColInto(dst []float64, j int) {
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("linalg: ColInto length %d != rows %d", len(dst), m.Rows))
+	}
+	kernels.GatherCol(dst, m.Data, m.Cols, m.Rows, j)
 }
 
 // SetRow copies v into row i.
@@ -124,15 +134,14 @@ func (m *Matrix) checkSameShape(o *Matrix, op string) {
 	}
 }
 
-// MulVec computes m * x for a column vector x.
+// MulVec computes m * x for a column vector x. Dispatches through the
+// kernel backend registry (see Choose).
 func (m *Matrix) MulVec(x []float64) []float64 {
 	if len(x) != m.Cols {
 		panic(fmt.Sprintf("linalg: MulVec length %d != cols %d", len(x), m.Cols))
 	}
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = Dot(m.Row(i), x)
-	}
+	Choose(OpGemv, m.Rows, m.Cols, 1).Gemv(m.Data, m.Cols, m.Rows, m.Cols, x, out)
 	return out
 }
 
@@ -142,53 +151,24 @@ func (m *Matrix) TMulVec(x []float64) []float64 {
 		panic(fmt.Sprintf("linalg: TMulVec length %d != rows %d", len(x), m.Rows))
 	}
 	out := make([]float64, m.Cols)
-	for i := 0; i < m.Rows; i++ {
-		xi := x[i]
-		if xi == 0 {
-			continue
-		}
-		row := m.Row(i)
-		for j, v := range row {
-			out[j] += xi * v
-		}
-	}
+	Choose(OpGemvT, m.Rows, m.Cols, 1).GemvT(m.Data, m.Cols, m.Rows, m.Cols, x, out)
 	return out
 }
 
-// gemmBlock is the cache-blocking tile edge used by Mul. 64 keeps three
-// float64 tiles comfortably inside a typical 256 KiB L2 slice.
+// gemmBlock is the cache-blocking tile edge used by the reference GEMM.
+// 64 keeps three float64 tiles comfortably inside a typical 256 KiB L2
+// slice.
 const gemmBlock = 64
 
-// Mul computes the matrix product m * o using a blocked i-k-j loop order
-// (the classic cache-friendly GEMM ordering for row-major storage).
+// Mul computes the matrix product m * o. The kernel implementation is
+// picked per call by the backend registry: the reference blocked i-k-j
+// loop, or the packed register-blocked parallel GEMM (see Choose).
 func (m *Matrix) Mul(o *Matrix) *Matrix {
 	if m.Cols != o.Rows {
 		panic(fmt.Sprintf("linalg: Mul inner dimension mismatch %dx%d * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 	out := NewMatrix(m.Rows, o.Cols)
-	for ii := 0; ii < m.Rows; ii += gemmBlock {
-		iMax := min(ii+gemmBlock, m.Rows)
-		for kk := 0; kk < m.Cols; kk += gemmBlock {
-			kMax := min(kk+gemmBlock, m.Cols)
-			for jj := 0; jj < o.Cols; jj += gemmBlock {
-				jMax := min(jj+gemmBlock, o.Cols)
-				for i := ii; i < iMax; i++ {
-					mrow := m.Row(i)
-					orow := out.Row(i)
-					for k := kk; k < kMax; k++ {
-						a := mrow[k]
-						if a == 0 {
-							continue
-						}
-						brow := o.Data[k*o.Cols : k*o.Cols+o.Cols]
-						for j := jj; j < jMax; j++ {
-							orow[j] += a * brow[j]
-						}
-					}
-				}
-			}
-		}
-	}
+	Choose(OpGemm, m.Rows, m.Cols, o.Cols).Mul(out.Data, m.Data, o.Data, m.Rows, m.Cols, o.Cols)
 	return out
 }
 
@@ -200,19 +180,7 @@ func (m *Matrix) TMul(o *Matrix) *Matrix {
 		panic(fmt.Sprintf("linalg: TMul row mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 	out := NewMatrix(m.Cols, o.Cols)
-	for r := 0; r < m.Rows; r++ {
-		mrow := m.Row(r)
-		orow := o.Row(r)
-		for i, a := range mrow {
-			if a == 0 {
-				continue
-			}
-			dst := out.Row(i)
-			for j, b := range orow {
-				dst[j] += a * b
-			}
-		}
-	}
+	Choose(OpTMul, m.Rows, m.Cols, o.Cols).TMul(out.Data, m.Data, o.Data, m.Rows, m.Cols, o.Cols)
 	return out
 }
 

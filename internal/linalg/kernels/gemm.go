@@ -1,0 +1,130 @@
+package kernels
+
+// Cache blocking for the axpy-form float64 GEMM: the kc x jc tile of b
+// (kc*jc*8 bytes = 240 KiB) stays L2-resident while every row of the
+// output panel streams over it, and each jc-wide dst row segment stays
+// in L1 across a kc-deep reduction block.
+const (
+	gemmKC = 128
+	gemmJC = 240
+)
+
+// axpyTo computes dst[j] += alpha*x[j] for j < len(dst), via AVX2 when
+// available. Element-wise, so ordering matches the scalar loop exactly.
+func axpyTo(alpha float64, x, dst []float64) {
+	if useSIMD && len(dst) >= 8 {
+		axpySIMD(dst, x, alpha)
+		return
+	}
+	for j := range dst {
+		dst[j] += alpha * x[j]
+	}
+}
+
+// axpy4 applies four ordered axpy accumulations to dst: for each j,
+// dst[j] += x0*r0[j], then x1*r1[j], x2*r2[j], x3*r3[j] — one rounded
+// add per product in ascending source order, so fusing four rows
+// changes no bits relative to four separate axpyTo calls.
+func axpy4(dst []float64, x0, x1, x2, x3 float64, r0, r1, r2, r3 []float64) {
+	if useSIMD && len(dst) >= 8 {
+		axpy4SIMD(dst, r0, r1, r2, r3, x0, x1, x2, x3)
+		return
+	}
+	for j := range dst {
+		t := dst[j]
+		t += x0 * r0[j]
+		t += x1 * r1[j]
+		t += x2 * r2[j]
+		t += x3 * r3[j]
+		dst[j] = t
+	}
+}
+
+// Gemm accumulates dst += a*b for contiguous row-major operands:
+// a is m x k, b is k x n, dst is m x n. Output rows fan across the
+// worker pool; within a row chunk the reduction is cache-blocked and
+// runs four b-rows per pass through the vectorized axpy4. Every output
+// element accumulates in ascending-k order with one rounded add per
+// product — the same sequence as the reference i-k-j loop — so results
+// are bit-identical to the reference backend on finite inputs.
+func Gemm(dst, a, b []float64, m, k, n int) {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return
+	}
+	minChunk := 1 + gemmParallelFlops/(2*k*n+1)
+	ParallelChunks(m, minChunk, func(ilo, ihi int) {
+		for kk := 0; kk < k; kk += gemmKC {
+			kMax := kk + gemmKC
+			if kMax > k {
+				kMax = k
+			}
+			for jj := 0; jj < n; jj += gemmJC {
+				jMax := jj + gemmJC
+				if jMax > n {
+					jMax = n
+				}
+				for i := ilo; i < ihi; i++ {
+					arow := a[i*k : i*k+k]
+					drow := dst[i*n+jj : i*n+jMax]
+					p := kk
+					for ; p+4 <= kMax; p += 4 {
+						axpy4(drow,
+							arow[p], arow[p+1], arow[p+2], arow[p+3],
+							b[p*n+jj:p*n+jMax],
+							b[(p+1)*n+jj:(p+1)*n+jMax],
+							b[(p+2)*n+jj:(p+2)*n+jMax],
+							b[(p+3)*n+jj:(p+3)*n+jMax])
+					}
+					for ; p < kMax; p++ {
+						axpyTo(arow[p], b[p*n+jj:p*n+jMax], drow)
+					}
+				}
+			}
+		}
+	})
+}
+
+// gemmParallelFlops is the minimum per-chunk flop count before Gemm and
+// GemmT fan rows across helpers.
+const gemmParallelFlops = 1 << 16
+
+// GemmT accumulates dst += aᵀ*b where a is r x m, b is r x n and dst is
+// m x n (the transpose-multiply primitive behind Matrix.TMul). The
+// reduction runs over the shared leading dimension r with the same
+// blocked axpy structure as Gemm; the a operand is read down a column
+// (stride m), four scalars per pass.
+func GemmT(dst, a, b []float64, r, m, n int) {
+	if m <= 0 || n <= 0 || r <= 0 {
+		return
+	}
+	minChunk := 1 + gemmParallelFlops/(2*r*n+1)
+	ParallelChunks(m, minChunk, func(ilo, ihi int) {
+		for kk := 0; kk < r; kk += gemmKC {
+			kMax := kk + gemmKC
+			if kMax > r {
+				kMax = r
+			}
+			for jj := 0; jj < n; jj += gemmJC {
+				jMax := jj + gemmJC
+				if jMax > n {
+					jMax = n
+				}
+				for i := ilo; i < ihi; i++ {
+					drow := dst[i*n+jj : i*n+jMax]
+					p := kk
+					for ; p+4 <= kMax; p += 4 {
+						axpy4(drow,
+							a[p*m+i], a[(p+1)*m+i], a[(p+2)*m+i], a[(p+3)*m+i],
+							b[p*n+jj:p*n+jMax],
+							b[(p+1)*n+jj:(p+1)*n+jMax],
+							b[(p+2)*n+jj:(p+2)*n+jMax],
+							b[(p+3)*n+jj:(p+3)*n+jMax])
+					}
+					for ; p < kMax; p++ {
+						axpyTo(a[p*m+i], b[p*n+jj:p*n+jMax], drow)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package kernels
+
+// Register blocking factors for the float32 micro-kernel: each inner
+// iteration computes an mr x nr output block held in scalar registers
+// across the full reduction, so every output element accumulates in
+// ascending reduction order exactly like a naive triple loop.
+const (
+	mr = 4
+	nr = 4
+)
+
+// Gemm32 accumulates dst += a*b in float32: a is m x k, b is k x n, dst
+// is m x n, all contiguous row-major. Structure mirrors the float64
+// Gemm (packed nr-wide b panels, mr-high register-blocked row panels,
+// full-depth register accumulation). Float32 halves memory traffic on
+// the im2col conv path; the precision loss relative to the float64
+// kernels is the one tolerance > 0 entry in the linalg tolerance table,
+// so this variant is only used where a caller opts in.
+func Gemm32(dst, a, b []float32, m, k, n int) {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return
+	}
+	nPanels := (n + nr - 1) / nr
+	packB := make([]float32, nPanels*k*nr)
+	for p := 0; p < nPanels; p++ {
+		j0 := p * nr
+		w := n - j0
+		if w > nr {
+			w = nr
+		}
+		dstP := packB[p*k*nr:]
+		for kk := 0; kk < k; kk++ {
+			src := b[kk*n+j0:]
+			base := kk * nr
+			for j := 0; j < w; j++ {
+				dstP[base+j] = src[j]
+			}
+		}
+	}
+	iPanels := (m + mr - 1) / mr
+	ParallelChunks(iPanels, 1, func(lo, hi int) {
+		packA := make([]float32, k*mr)
+		for ip := lo; ip < hi; ip++ {
+			i0 := ip * mr
+			h := m - i0
+			if h > mr {
+				h = mr
+			}
+			for kk := 0; kk < k; kk++ {
+				base := kk * mr
+				for ii := 0; ii < h; ii++ {
+					packA[base+ii] = a[(i0+ii)*k+kk]
+				}
+				for ii := h; ii < mr; ii++ {
+					packA[base+ii] = 0
+				}
+			}
+			for p := 0; p < nPanels; p++ {
+				j0 := p * nr
+				w := n - j0
+				if w > nr {
+					w = nr
+				}
+				micro4x4f32(dst[i0*n+j0:], n, packA, packB[p*k*nr:], k, h, w)
+			}
+		}
+	})
+}
+
+// micro4x4f32 is the float32 register micro-kernel; see micro4x4.
+func micro4x4f32(dst []float32, ldd int, packA, packB []float32, kc, h, w int) {
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	ia, ib := 0, 0
+	for kk := 0; kk < kc; kk++ {
+		a0 := packA[ia]
+		a1 := packA[ia+1]
+		a2 := packA[ia+2]
+		a3 := packA[ia+3]
+		b0 := packB[ib]
+		b1 := packB[ib+1]
+		b2 := packB[ib+2]
+		b3 := packB[ib+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		ia += mr
+		ib += nr
+	}
+	var c [mr][nr]float32
+	c[0] = [nr]float32{c00, c01, c02, c03}
+	c[1] = [nr]float32{c10, c11, c12, c13}
+	c[2] = [nr]float32{c20, c21, c22, c23}
+	c[3] = [nr]float32{c30, c31, c32, c33}
+	for i := 0; i < h; i++ {
+		row := dst[i*ldd:]
+		for j := 0; j < w; j++ {
+			row[j] += c[i][j]
+		}
+	}
+}

@@ -1,0 +1,45 @@
+//go:build amd64
+
+package kernels
+
+// useSIMD reports whether the AVX2 axpy primitives may be used. The
+// runtime check requires OS support for YMM state (OSXSAVE + XCR0) on
+// top of the AVX2 CPUID bit.
+var useSIMD = detectAVX2()
+
+// cpuidex executes CPUID with the given leaf and subleaf.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (requires OSXSAVE).
+func xgetbv0() (eax, edx uint32)
+
+// axpySIMD computes dst[j] += alpha*x[j] for j < len(dst) using AVX2
+// vector mul+add (no FMA, so rounding matches the scalar loop exactly).
+func axpySIMD(dst, x []float64, alpha float64)
+
+// axpy4SIMD computes, for each j < len(dst), four ordered accumulations
+// dst[j] += x0*r0[j]; dst[j] += x1*r1[j]; dst[j] += x2*r2[j];
+// dst[j] += x3*r3[j] — vectorized across j, so the per-element rounding
+// sequence is identical to the scalar fallback.
+func axpy4SIMD(dst, r0, r1, r2, r3 []float64, x0, x1, x2, x3 float64)
+
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const osxsaveBit = 1 << 27
+	const avxBit = 1 << 28
+	_, _, c1, _ := cpuidex(1, 0)
+	if c1&osxsaveBit == 0 || c1&avxBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be OS-enabled.
+	xlo, _ := xgetbv0()
+	if xlo&6 != 6 {
+		return false
+	}
+	const avx2Bit = 1 << 5
+	_, b7, _, _ := cpuidex(7, 0)
+	return b7&avx2Bit != 0
+}

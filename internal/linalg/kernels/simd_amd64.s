@@ -1,0 +1,177 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func axpySIMD(dst, x []float64, alpha float64)
+//
+// dst[j] += alpha * x[j] for j < len(dst). VMULPD+VADDPD only — no FMA —
+// so each element sees exactly the scalar rounding sequence.
+TEXT ·axpySIMD(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ x_base+24(FP), R8
+	VBROADCASTSD alpha+48(FP), Y0
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+loop8:
+	CMPQ AX, DX
+	JGE  tail4
+	VMOVUPD (DI)(AX*8), Y4
+	VMOVUPD 32(DI)(AX*8), Y5
+	VMOVUPD (R8)(AX*8), Y6
+	VMOVUPD 32(R8)(AX*8), Y7
+	VMULPD  Y0, Y6, Y6
+	VMULPD  Y0, Y7, Y7
+	VADDPD  Y6, Y4, Y4
+	VADDPD  Y7, Y5, Y5
+	VMOVUPD Y4, (DI)(AX*8)
+	VMOVUPD Y5, 32(DI)(AX*8)
+	ADDQ    $8, AX
+	JMP     loop8
+
+tail4:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+	CMPQ AX, DX
+	JGE  tail1
+	VMOVUPD (DI)(AX*8), Y4
+	VMOVUPD (R8)(AX*8), Y6
+	VMULPD  Y0, Y6, Y6
+	VADDPD  Y6, Y4, Y4
+	VMOVUPD Y4, (DI)(AX*8)
+	ADDQ    $4, AX
+
+tail1:
+	CMPQ AX, CX
+	JGE  done
+	VMOVSD (DI)(AX*8), X4
+	VMOVSD (R8)(AX*8), X6
+	VMULSD X0, X6, X6
+	VADDSD X6, X4, X4
+	VMOVSD X4, (DI)(AX*8)
+	INCQ   AX
+	JMP    tail1
+
+done:
+	VZEROUPPER
+	RET
+
+// func axpy4SIMD(dst, r0, r1, r2, r3 []float64, x0, x1, x2, x3 float64)
+//
+// For each j < len(dst): dst[j] += x0*r0[j]; += x1*r1[j]; += x2*r2[j];
+// += x3*r3[j] — four ordered memory-rounded accumulations per element,
+// vectorized across j. Callers guarantee len(r*) >= len(dst).
+TEXT ·axpy4SIMD(SB), NOSPLIT, $0-152
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ r0_base+24(FP), R8
+	MOVQ r1_base+48(FP), R9
+	MOVQ r2_base+72(FP), R10
+	MOVQ r3_base+96(FP), R11
+	VBROADCASTSD x0+120(FP), Y0
+	VBROADCASTSD x1+128(FP), Y1
+	VBROADCASTSD x2+136(FP), Y2
+	VBROADCASTSD x3+144(FP), Y3
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+loop8:
+	CMPQ AX, DX
+	JGE  tail4
+	VMOVUPD (DI)(AX*8), Y4
+	VMOVUPD 32(DI)(AX*8), Y5
+	VMOVUPD (R8)(AX*8), Y6
+	VMOVUPD 32(R8)(AX*8), Y7
+	VMULPD  Y0, Y6, Y6
+	VMULPD  Y0, Y7, Y7
+	VADDPD  Y6, Y4, Y4
+	VADDPD  Y7, Y5, Y5
+	VMOVUPD (R9)(AX*8), Y6
+	VMOVUPD 32(R9)(AX*8), Y7
+	VMULPD  Y1, Y6, Y6
+	VMULPD  Y1, Y7, Y7
+	VADDPD  Y6, Y4, Y4
+	VADDPD  Y7, Y5, Y5
+	VMOVUPD (R10)(AX*8), Y6
+	VMOVUPD 32(R10)(AX*8), Y7
+	VMULPD  Y2, Y6, Y6
+	VMULPD  Y2, Y7, Y7
+	VADDPD  Y6, Y4, Y4
+	VADDPD  Y7, Y5, Y5
+	VMOVUPD (R11)(AX*8), Y6
+	VMOVUPD 32(R11)(AX*8), Y7
+	VMULPD  Y3, Y6, Y6
+	VMULPD  Y3, Y7, Y7
+	VADDPD  Y6, Y4, Y4
+	VADDPD  Y7, Y5, Y5
+	VMOVUPD Y4, (DI)(AX*8)
+	VMOVUPD Y5, 32(DI)(AX*8)
+	ADDQ    $8, AX
+	JMP     loop8
+
+tail4:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+	CMPQ AX, DX
+	JGE  tail1
+	VMOVUPD (DI)(AX*8), Y4
+	VMOVUPD (R8)(AX*8), Y6
+	VMULPD  Y0, Y6, Y6
+	VADDPD  Y6, Y4, Y4
+	VMOVUPD (R9)(AX*8), Y6
+	VMULPD  Y1, Y6, Y6
+	VADDPD  Y6, Y4, Y4
+	VMOVUPD (R10)(AX*8), Y6
+	VMULPD  Y2, Y6, Y6
+	VADDPD  Y6, Y4, Y4
+	VMOVUPD (R11)(AX*8), Y6
+	VMULPD  Y3, Y6, Y6
+	VADDPD  Y6, Y4, Y4
+	VMOVUPD Y4, (DI)(AX*8)
+	ADDQ    $4, AX
+
+tail1:
+	CMPQ AX, CX
+	JGE  done
+	VMOVSD (DI)(AX*8), X4
+	VMOVSD (R8)(AX*8), X6
+	VMULSD X0, X6, X6
+	VADDSD X6, X4, X4
+	VMOVSD (R9)(AX*8), X6
+	VMULSD X1, X6, X6
+	VADDSD X6, X4, X4
+	VMOVSD (R10)(AX*8), X6
+	VMULSD X2, X6, X6
+	VADDSD X6, X4, X4
+	VMOVSD (R11)(AX*8), X6
+	VMULSD X3, X6, X6
+	VADDSD X6, X4, X4
+	VMOVSD X4, (DI)(AX*8)
+	INCQ   AX
+	JMP    tail1
+
+done:
+	VZEROUPPER
+	RET

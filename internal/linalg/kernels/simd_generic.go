@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package kernels
+
+// useSIMD is false off amd64; the pure-Go fallbacks in strided.go run
+// everywhere and produce identical results.
+var useSIMD = false
+
+func axpySIMD(dst, x []float64, alpha float64) {
+	panic("kernels: axpySIMD unavailable on this architecture")
+}
+
+func axpy4SIMD(dst, r0, r1, r2, r3 []float64, x0, x1, x2, x3 float64) {
+	panic("kernels: axpy4SIMD unavailable on this architecture")
+}

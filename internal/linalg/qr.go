@@ -3,6 +3,8 @@ package linalg
 import (
 	"fmt"
 	"math"
+
+	"keystoneml/internal/linalg/kernels"
 )
 
 // QRFactors holds the thin QR factorization A = Q R of an m x n matrix
@@ -15,27 +17,35 @@ type QRFactors struct {
 
 // QR computes a thin Householder QR factorization of a (m >= n required).
 // The input matrix is not modified.
+//
+// The trailing-panel reflector applications — the PCA/whitening hot
+// loop — run as GemvT (projection w = R_panelᵀ v) plus Ger (rank-1
+// update R_panel -= v (2w)ᵀ) through the kernel backend registry. Both
+// forms accumulate in the same per-element order as the classic
+// per-column dot loops, so the factorization is bit-identical across
+// backends. All n Householder vectors live in one flat scratch buffer
+// (they previously cost one allocation per column).
 func QR(a *Matrix) *QRFactors {
 	m, n := a.Rows, a.Cols
 	if m < n {
 		panic(fmt.Sprintf("linalg: QR requires rows >= cols, got %dx%d", m, n))
 	}
 	r := a.Clone()
-	// vs[k] stores the Householder vector for column k (length m-k).
-	vs := make([][]float64, n)
+	// Householder vector k has length m-k; lay them out back to back.
+	vsData := make([]float64, n*m-n*(n-1)/2)
+	vsOff := make([]int, n+1)
+	for k := 0; k < n; k++ {
+		vsOff[k+1] = vsOff[k] + m - k
+	}
+	w := make([]float64, n)
 	for k := 0; k < n; k++ {
 		// Build the Householder reflector for column k below the diagonal.
-		v := make([]float64, m-k)
-		var norm float64
-		for i := k; i < m; i++ {
-			x := r.At(i, k)
-			v[i-k] = x
-			norm += x * x
-		}
-		norm = math.Sqrt(norm)
+		v := vsData[vsOff[k]:vsOff[k+1]]
+		kernels.GatherCol(v, r.Data[k*n:], n, m-k, k)
+		b := Choose(OpGemvT, m-k, n-k, 1)
+		norm := math.Sqrt(b.Dot(v, v))
 		if norm == 0 {
-			vs[k] = v // zero column; identity reflector
-			continue
+			continue // zero column; identity reflector
 		}
 		if v[0] >= 0 {
 			v[0] += norm
@@ -46,18 +56,18 @@ func QR(a *Matrix) *QRFactors {
 		if vnorm > 0 {
 			ScaleInPlace(1/vnorm, v)
 		}
-		vs[k] = v
-		// Apply the reflector to the trailing submatrix: R <- (I - 2vvᵀ)R.
-		for j := k; j < n; j++ {
-			var dot float64
-			for i := k; i < m; i++ {
-				dot += v[i-k] * r.At(i, j)
-			}
-			dot *= 2
-			for i := k; i < m; i++ {
-				r.Set(i, j, r.At(i, j)-dot*v[i-k])
-			}
+		// Apply the reflector to the trailing submatrix: R <- (I - 2vvᵀ)R,
+		// i.e. w = R_panelᵀ v followed by R_panel -= v (2w)ᵀ.
+		panel := r.Data[k*n+k:]
+		ww := w[:n-k]
+		for j := range ww {
+			ww[j] = 0
 		}
+		b.GemvT(panel, n, m-k, n-k, v, ww)
+		for j := range ww {
+			ww[j] *= 2
+		}
+		b.Ger(panel, n, m-k, n-k, -1, v, ww)
 	}
 	// Accumulate the thin Q by applying reflectors (in reverse) to I_{m x n}.
 	q := NewMatrix(m, n)
@@ -65,17 +75,18 @@ func QR(a *Matrix) *QRFactors {
 		q.Set(j, j, 1)
 	}
 	for k := n - 1; k >= 0; k-- {
-		v := vs[k]
-		for j := 0; j < n; j++ {
-			var dot float64
-			for i := k; i < m; i++ {
-				dot += v[i-k] * q.At(i, j)
-			}
-			dot *= 2
-			for i := k; i < m; i++ {
-				q.Set(i, j, q.At(i, j)-dot*v[i-k])
-			}
+		v := vsData[vsOff[k]:vsOff[k+1]]
+		panel := q.Data[k*n:]
+		ww := w[:n]
+		for j := range ww {
+			ww[j] = 0
 		}
+		b := Choose(OpGemvT, m-k, n, 1)
+		b.GemvT(panel, n, m-k, n, v, ww)
+		for j := range ww {
+			ww[j] *= 2
+		}
+		b.Ger(panel, n, m-k, n, -1, v, ww)
 	}
 	// Extract the upper-triangular n x n block of R, zeroing round-off below
 	// the diagonal.
@@ -118,13 +129,9 @@ func SolveUpperTriangularMatrix(r, b *Matrix) *Matrix {
 	x := NewMatrix(r.Cols, b.Cols)
 	col := make([]float64, b.Rows)
 	for j := 0; j < b.Cols; j++ {
-		for i := 0; i < b.Rows; i++ {
-			col[i] = b.At(i, j)
-		}
+		b.ColInto(col, j)
 		sol := SolveUpperTriangular(r, col)
-		for i, v := range sol {
-			x.Set(i, j, v)
-		}
+		kernels.ScatterCol(x.Data, sol, x.Cols, x.Rows, j)
 	}
 	return x
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"keystoneml/internal/linalg/kernels"
 )
 
 // SVDFactors holds a thin singular value decomposition A = U diag(S) Vᵀ of
@@ -34,19 +36,15 @@ func SVD(a *Matrix) *SVDFactors {
 	// One-sided Jacobi: orthogonalize pairs of columns of U, accumulating
 	// the rotations in V. On convergence U = A V with orthogonal columns,
 	// so A = (U/|U|) diag(|U|) Vᵀ.
+	// The pair sums and plane rotations run on strided kernels (fused
+	// single-pass Gram sums, direct-indexed rotations) with the same
+	// per-element arithmetic order as the scalar At/Set loops.
 	eps := 1e-12
 	for sweep := 0; sweep < jacobiSweepLimit; sweep++ {
 		off := 0.0
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
-				var app, aqq, apq float64
-				for i := 0; i < m; i++ {
-					up := u.At(i, p)
-					uq := u.At(i, q)
-					app += up * up
-					aqq += uq * uq
-					apq += up * uq
-				}
+				app, aqq, apq := kernels.ColPairSums(u.Data, n, m, p, q)
 				if math.Abs(apq) <= eps*math.Sqrt(app*aqq) {
 					continue
 				}
@@ -61,18 +59,8 @@ func SVD(a *Matrix) *SVDFactors {
 				}
 				c := 1 / math.Sqrt(1+t*t)
 				s := c * t
-				for i := 0; i < m; i++ {
-					up := u.At(i, p)
-					uq := u.At(i, q)
-					u.Set(i, p, c*up-s*uq)
-					u.Set(i, q, s*up+c*uq)
-				}
-				for i := 0; i < n; i++ {
-					vp := v.At(i, p)
-					vq := v.At(i, q)
-					v.Set(i, p, c*vp-s*vq)
-					v.Set(i, q, s*vp+c*vq)
-				}
+				kernels.RotCols(u.Data, n, m, p, q, c, s)
+				kernels.RotCols(v.Data, n, n, p, q, c, s)
 			}
 		}
 		if off == 0 {
@@ -82,15 +70,12 @@ func SVD(a *Matrix) *SVDFactors {
 	// Extract singular values as column norms of U and normalize columns.
 	s := make([]float64, n)
 	for j := 0; j < n; j++ {
-		var norm float64
-		for i := 0; i < m; i++ {
-			norm += u.At(i, j) * u.At(i, j)
-		}
+		norm, _, _ := kernels.ColPairSums(u.Data, n, m, j, j)
 		s[j] = math.Sqrt(norm)
 		if s[j] > 0 {
 			inv := 1 / s[j]
 			for i := 0; i < m; i++ {
-				u.Set(i, j, u.At(i, j)*inv)
+				u.Data[i*n+j] *= inv
 			}
 		}
 	}
@@ -215,25 +200,10 @@ func SymEig(a *Matrix) (vals []float64, v *Matrix) {
 				c := 1 / math.Sqrt(1+t*t)
 				s := c * t
 				// Rotate rows/columns p and q of D.
-				for i := 0; i < n; i++ {
-					dip := d.At(i, p)
-					diq := d.At(i, q)
-					d.Set(i, p, c*dip-s*diq)
-					d.Set(i, q, s*dip+c*diq)
-				}
-				for i := 0; i < n; i++ {
-					dpi := d.At(p, i)
-					dqi := d.At(q, i)
-					d.Set(p, i, c*dpi-s*dqi)
-					d.Set(q, i, s*dpi+c*dqi)
-				}
+				kernels.RotCols(d.Data, n, n, p, q, c, s)
+				kernels.RotRows(d.Row(p), d.Row(q), c, s)
 				// Rotate the eigenvector accumulator.
-				for i := 0; i < n; i++ {
-					vip := v.At(i, p)
-					viq := v.At(i, q)
-					v.Set(i, p, c*vip-s*viq)
-					v.Set(i, q, s*vip+c*viq)
-				}
+				kernels.RotCols(v.Data, n, n, p, q, c, s)
 			}
 		}
 	}

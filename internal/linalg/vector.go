@@ -5,16 +5,13 @@ import (
 	"math"
 )
 
-// Dot returns the inner product of two equal-length dense vectors.
+// Dot returns the inner product of two equal-length dense vectors,
+// dispatched through the kernel backend registry.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
-	}
-	return s
+	return Choose(OpDot, len(a), 1, 1).Dot(a, b)
 }
 
 // Norm2 returns the Euclidean norm of v.
@@ -35,14 +32,13 @@ func Norm1(v []float64) float64 {
 	return s
 }
 
-// AxpyInPlace computes y += alpha*x in place.
+// AxpyInPlace computes y += alpha*x in place, dispatched through the
+// kernel backend registry.
 func AxpyInPlace(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("linalg: Axpy length mismatch %d vs %d", len(x), len(y)))
 	}
-	for i, v := range x {
-		y[i] += alpha * v
-	}
+	Choose(OpAxpy, len(x), 1, 1).Axpy(alpha, x, y)
 }
 
 // ScaleInPlace multiplies v by alpha in place.

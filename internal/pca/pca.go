@@ -43,10 +43,7 @@ func (p *Projection) Apply(in any) any {
 		if v == 0 {
 			continue
 		}
-		row := p.P.Row(i)
-		for j := 0; j < k; j++ {
-			out[j] += v * row[j]
-		}
+		linalg.AxpyInPlace(v, p.P.Row(i), out)
 	}
 	return out
 }
@@ -137,15 +134,12 @@ func (s *DistSVD) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetch) c
 		sum := make([]float64, d)
 		for _, it := range part {
 			x := it.([]float64)
+			linalg.AxpyInPlace(1, x, sum)
 			for i, xi := range x {
-				sum[i] += xi
 				if xi == 0 {
 					continue
 				}
-				row := g.Row(i)
-				for j, xj := range x {
-					row[j] += xi * xj
-				}
+				linalg.AxpyInPlace(xi, x, g.Row(i))
 			}
 		}
 		return partial{gram: g, sum: sum, n: len(part)}
@@ -263,10 +257,7 @@ func mulCentered(ctx *engine.Context, c *engine.Collection, m *linalg.Matrix, me
 			if v == 0 {
 				continue
 			}
-			row := m.Row(i)
-			for j := range out {
-				out[j] += v * row[j]
-			}
+			linalg.AxpyInPlace(v, m.Row(i), out)
 		}
 		return out
 	})
@@ -308,10 +299,7 @@ func tMulCentered(ctx *engine.Context, c *engine.Collection, q *linalg.Matrix, m
 					if v == 0 {
 						continue
 					}
-					dst := acc.Row(ii)
-					for j := 0; j < p; j++ {
-						dst[j] += v * qRow[j]
-					}
+					linalg.AxpyInPlace(v, qRow, acc.Row(ii))
 				}
 			}
 			partials[i] = acc

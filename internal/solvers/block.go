@@ -98,6 +98,9 @@ func (s *BlockSolver) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetc
 			wb := w.SliceRows(lo, hi)
 			type partial struct{ g, c *linalg.Matrix }
 			partials := make([]partial, len(dense))
+			// Each partition's A_B column slice is needed again by the
+			// residual update below; slice once per block, not twice.
+			abs := make([]*linalg.Matrix, len(dense))
 			for i := range dense {
 				wg.Add(1)
 				sem <- struct{}{}
@@ -105,6 +108,7 @@ func (s *BlockSolver) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetc
 					defer wg.Done()
 					defer func() { <-sem }()
 					ab := dense[i].feat.SliceCols(lo, hi)
+					abs[i] = ab
 					target := resid[i].Clone().Add(ab.Mul(wb))
 					partials[i] = partial{g: ab.TMul(ab), c: ab.TMul(target)}
 				}(i)
@@ -126,8 +130,7 @@ func (s *BlockSolver) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetc
 				go func(i int) {
 					defer wg.Done()
 					defer func() { <-sem }()
-					ab := dense[i].feat.SliceCols(lo, hi)
-					resid[i].Sub(ab.Mul(delta))
+					resid[i].Sub(abs[i].Mul(delta))
 				}(i)
 			}
 			wg.Wait()

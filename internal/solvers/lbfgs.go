@@ -117,9 +117,9 @@ func (s *LBFGS) Fit(ctx *engine.Context, data core.Fetch, labels core.Fetch) cor
 		}
 		prevW = linalg.CloneVec(w)
 		prevG = g
-		for i := range w {
-			w[i] -= step * dir[i]
-		}
+		// w -= step*dir; (-step)*d is the exact negation of step*d, so
+		// this matches the elementwise subtraction bit for bit.
+		linalg.AxpyInPlace(-step, dir, w)
 	}
 	wm := &linalg.Matrix{Rows: d, Cols: k, Data: w}
 	return &LinearMapper{W: wm, TrainLoss: squaredLoss(pairs, wm), SolverName: s.Name()}
@@ -185,7 +185,7 @@ func (s *LBFGS) gradient(ctx *engine.Context, pairs []partPair, w []float64, d, 
 						loss += 0.5 * pred[j] * pred[j]
 					}
 				}
-				// g += x ⊗ residual
+				// g += x ⊗ residual, one backend axpy per nonzero feature
 				if p.dense != nil {
 					x := p.dense.Row(r)
 					for i, xi := range x {
@@ -193,18 +193,13 @@ func (s *LBFGS) gradient(ctx *engine.Context, pairs []partPair, w []float64, d, 
 							continue
 						}
 						base := i * k
-						for j := 0; j < k; j++ {
-							g[base+j] += xi * pred[j]
-						}
+						linalg.AxpyInPlace(xi, pred, g[base:base+k])
 					}
 				} else {
 					sv := p.sparse[r]
 					for pos, i := range sv.Idx {
-						xi := sv.Val[pos]
 						base := i * k
-						for j := 0; j < k; j++ {
-							g[base+j] += xi * pred[j]
-						}
+						linalg.AxpyInPlace(sv.Val[pos], pred, g[base:base+k])
 					}
 				}
 			}

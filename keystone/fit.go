@@ -8,6 +8,7 @@ import (
 
 	"keystoneml/internal/core"
 	"keystoneml/internal/engine"
+	"keystoneml/internal/linalg"
 	"keystoneml/internal/optimizer"
 )
 
@@ -46,6 +47,13 @@ func (p *Pipeline[I, O]) Fit(ctx context.Context, records []I, labels [][]float6
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	// Kernel dispatch mode is process-global (the linalg registry is
+	// shared); Auto additionally installs the measured crossover, cached
+	// after the first Fit in the process.
+	cfg.applyKernelBackend()
+	// Kernel tile fan-out shares the engine's worker budget so nested
+	// parallelism degrades to serial instead of oversubscribing.
+	linalg.SetKernelParallelism(engine.NewContext(cfg.workers).Parallelism)
 	classes := cfg.numClasses
 	if classes == 0 && len(labels) > 0 {
 		classes = len(labels[0])

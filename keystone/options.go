@@ -5,6 +5,7 @@ import (
 
 	"keystoneml/internal/cluster"
 	"keystoneml/internal/engine"
+	"keystoneml/internal/linalg"
 	"keystoneml/internal/optimizer"
 )
 
@@ -70,6 +71,34 @@ const (
 	SchedulerFIFO
 )
 
+// KernelBackend selects the linalg kernel dispatch mode underneath
+// every operator (GEMM, QR/SVD panel updates, dot/axpy).
+type KernelBackend int
+
+const (
+	// KernelAuto (the default) dispatches each kernel call by shape
+	// against crossover thresholds measured by the cluster
+	// microbenchmarks — the paper's cost-model discipline applied one
+	// level down. With no measurement installed it behaves like
+	// KernelReference.
+	KernelAuto KernelBackend = iota
+	// KernelReference pins the original straight-line kernels.
+	KernelReference
+	// KernelBlocked pins the cache-blocked vectorized parallel kernels.
+	KernelBlocked
+)
+
+func (k KernelBackend) internal() linalg.BackendMode {
+	switch k {
+	case KernelReference:
+		return linalg.ModeReference
+	case KernelBlocked:
+		return linalg.ModeBlocked
+	default:
+		return linalg.ModeAuto
+	}
+}
+
 // fitConfig is the resolved option set for one Fit call.
 type fitConfig struct {
 	level       Level
@@ -81,6 +110,7 @@ type fitConfig struct {
 	sampleSizes [2]int
 	nodes       int
 	scheduler   SchedulerPolicy
+	kernels     KernelBackend
 }
 
 func defaultFitConfig() fitConfig {
@@ -156,6 +186,24 @@ func WithSampleSizes(s1, s2 int) Option {
 // ready-order dispatch with retention off).
 func WithSchedulerPolicy(p SchedulerPolicy) Option {
 	return func(c *fitConfig) { c.scheduler = p }
+}
+
+// WithKernelBackend selects the linalg kernel dispatch mode (default
+// KernelAuto). The setting is process-global — the kernel registry is
+// shared by every pipeline in the process — and is applied at Fit
+// entry; both backends produce bit-identical float64 results (see
+// ARCHITECTURE.md Contract 5), so the choice affects speed, not output.
+func WithKernelBackend(k KernelBackend) Option {
+	return func(c *fitConfig) { c.kernels = k }
+}
+
+// applyKernelBackend publishes the selected dispatch mode and, for Auto,
+// installs the measured crossover thresholds (cached after first run).
+func (c fitConfig) applyKernelBackend() {
+	linalg.SetBackendMode(c.kernels.internal())
+	if c.kernels == KernelAuto {
+		cluster.InstallKernelCrossover()
+	}
 }
 
 // WithClusterNodes sets the modeled cluster size fed into the operator
