@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet staticcheck docs-check bench-smoke bench bench-sched bench-serve bench-canary bench-dist bench-kernels benchdiff serve serve-smoke dist-smoke ci
+.PHONY: build test race vet staticcheck docs-check bench-smoke bench bench-sched bench-serve bench-canary bench-dist bench-kernels bench-tune benchdiff serve serve-smoke dist-smoke ci
 
 build:
 	$(GO) build ./...
@@ -38,7 +38,7 @@ staticcheck:
 docs-check: vet
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then echo "gofmt -l flags:"; echo "$$out"; exit 1; fi
-	$(GO) run ./cmd/doccheck keystone keystone/serve keystone/registry keystone/dist internal/linalg internal/linalg/kernels
+	$(GO) run ./cmd/doccheck keystone keystone/serve keystone/registry keystone/dist keystone/tune internal/linalg internal/linalg/kernels
 
 # A short benchmark pass at Quick scale: compiles every benchmark and
 # runs each once, catching bit-rot without CI-hostile runtimes.
@@ -81,10 +81,18 @@ bench-dist:
 bench-kernels:
 	$(GO) run ./cmd/keybench -exp kernels -benchout /tmp/keystone-bench
 
-# The perf regression gate: compares the freshly generated kernel
-# numbers against the committed baselines in bench/baseline, failing on
-# any tracked metric that regresses past 15%.
-benchdiff: bench-kernels
+# The hyperparameter-search experiment: shared vs isolated prefix-cache
+# search wall time over a solver grid (the tracked shared_speedup
+# metric), winner bit-identity against a standalone fit, and a halving
+# search whose winner auto-deploys to a live route; BENCH_tune.json
+# lands in /tmp/keystone-bench for benchdiff.
+bench-tune:
+	$(GO) run ./cmd/keybench -exp tune -benchout /tmp/keystone-bench
+
+# The perf regression gate: compares the freshly generated kernel and
+# tune numbers against the committed baselines in bench/baseline,
+# failing on any tracked metric that regresses past 15%.
+benchdiff: bench-kernels bench-tune
 	$(GO) run ./cmd/benchdiff -fresh /tmp/keystone-bench
 
 # The HTTP inference server (trains text + vision pipelines at startup).

@@ -44,6 +44,9 @@ var tracked = map[string][]metricSpec{
 		{"tsvd_speedup", higherBetter},
 		{"e2e_speedup_cifar", higherBetter},
 	},
+	"BENCH_tune.json": {
+		{"shared_speedup", higherBetter},
+	},
 }
 
 func main() {

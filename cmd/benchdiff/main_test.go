@@ -61,3 +61,22 @@ func TestTrackedManifestCoversKernels(t *testing.T) {
 		}
 	}
 }
+
+func TestTrackedManifestCoversTune(t *testing.T) {
+	specs, ok := tracked["BENCH_tune.json"]
+	if !ok || len(specs) == 0 {
+		t.Fatal("tune manifest missing")
+	}
+	found := false
+	for _, s := range specs {
+		if s.name == "shared_speedup" {
+			found = true
+			if s.dir != higherBetter {
+				t.Error("shared_speedup is a speedup (higher better)")
+			}
+		}
+	}
+	if !found {
+		t.Error("tune manifest must track shared_speedup")
+	}
+}

@@ -8,7 +8,7 @@
 //
 // Experiments: table1 fig6 table2 fig7 costmodel table3 table5 fig8
 // table6 fig9 fig10 fig11 fig12 parallel sched serve canary dist
-// kernels.
+// kernels tune.
 //
 // With -benchout DIR each experiment additionally writes its headline
 // numbers as DIR/BENCH_<name>.json for machine consumption.
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig6, table2, fig7, costmodel, table3, table5, fig8, table6, fig9, fig10, fig11, fig12, parallel, sched, serve, canary, dist, kernels)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig6, table2, fig7, costmodel, table3, table5, fig8, table6, fig9, fig10, fig11, fig12, parallel, sched, serve, canary, dist, kernels, tune)")
 	benchOut := flag.String("benchout", "", "directory for machine-readable BENCH_*.json results (empty = off)")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	flag.Parse()
@@ -59,6 +59,7 @@ func main() {
 		{"canary", func() { experiments.ServeCanary(w, scale) }},
 		{"dist", func() { experiments.DistFit(w, scale) }},
 		{"kernels", func() { experiments.Kernels(w, scale) }},
+		{"tune", func() { experiments.TuneSearch(w, scale) }},
 	}
 
 	ran := false

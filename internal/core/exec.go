@@ -23,9 +23,13 @@ type NodeStats struct {
 	// computation under the parallel scheduler's single-flight rule
 	// (always 0 under the sequential oracle).
 	Coalesced int
-	Time      time.Duration // total local computation time across runs
-	OutCount  int           // records in the node output (last run)
-	OutBytes  int64         // estimated bytes of the node output (last run)
+	// SharedHits counts accesses served by a cross-fit shared prefix
+	// cache (SetSharedCache) — reuse of work another executor did
+	// (always 0 when no shared cache is attached).
+	SharedHits int
+	Time       time.Duration // total local computation time across runs
+	OutCount   int           // records in the node output (last run)
+	OutBytes   int64         // estimated bytes of the node output (last run)
 }
 
 // TimePerCompute returns the average local computation time t(v).
@@ -70,6 +74,12 @@ type Executor struct {
 	// may run at once); <= 1 selects the sequential oracle.
 	workers int
 	slots   chan struct{} // bounded worker pool, nil in sequential mode
+
+	// sharedCache, when set, is a search-scoped cross-executor cache of
+	// node outputs; sharedKeys maps this graph's node IDs to the content
+	// signatures that key it. Nodes without a key never touch it.
+	sharedCache *engine.SharedCache
+	sharedKeys  map[int]string
 
 	// policy selects the parallel dispatcher's ready-set ordering;
 	// plan, when set, is the optimizer's shared schedule plan (profile
@@ -158,6 +168,36 @@ func (e *Executor) SetSchedulePlan(p *SchedulePlan) *Executor {
 func (e *Executor) SetSchedulerPolicy(p SchedulerPolicy) *Executor {
 	e.policy = p
 	return e
+}
+
+// SetSharedCache attaches a cross-fit shared prefix cache: nodes whose
+// ID appears in keys consult (and fill) sc before computing, so
+// concurrent executors over graphs that share a signed prefix reuse each
+// other's materialized intermediates, single-flight per shared node.
+// keys come from PrefixSignatures over this executor's graph; the
+// caller owns the cache's data-identity scope (see engine.SharedCache).
+// Must not be called once Run has started; returns the executor for
+// chaining.
+func (e *Executor) SetSharedCache(sc *engine.SharedCache, keys map[int]string) *Executor {
+	e.sharedCache = sc
+	e.sharedKeys = keys
+	return e
+}
+
+// sharedKey returns the shared-cache key for n, if sharing applies.
+func (e *Executor) sharedKey(n *Node) (string, bool) {
+	if e.sharedCache == nil {
+		return "", false
+	}
+	k, ok := e.sharedKeys[n.ID]
+	return k, ok
+}
+
+// sharedNow reports whether n's output currently sits in the shared
+// cache (a planning peek, like cachedNow).
+func (e *Executor) sharedNow(n *Node) bool {
+	k, ok := e.sharedKey(n)
+	return ok && e.sharedCache.Contains(k)
 }
 
 // dispatchPlan returns the plan priorities the ready queue should use:
@@ -299,13 +339,53 @@ func (e *Executor) noteCoalesced(n *Node) {
 // output size for the cache admission call.
 func (e *Executor) noteCompute(n *Node, out *engine.Collection) int64 {
 	bytes := SizeOfSlice(out.Collect())
+	e.noteComputeSized(n, out, bytes)
+	return bytes
+}
+
+// noteComputeSized is noteCompute with the output size already known.
+func (e *Executor) noteComputeSized(n *Node, out *engine.Collection, bytes int64) {
 	e.mu.Lock()
 	st := e.statsLocked(n)
 	st.Computes++
 	st.OutCount = out.Count()
 	st.OutBytes = bytes
 	e.mu.Unlock()
-	return bytes
+}
+
+// noteSharedHit records an access of n served by the shared prefix
+// cache (another executor's — or an earlier pass's — computation).
+func (e *Executor) noteSharedHit(n *Node, out *engine.Collection, bytes int64) {
+	e.mu.Lock()
+	st := e.statsLocked(n)
+	st.SharedHits++
+	st.OutCount = out.Count()
+	st.OutBytes = bytes
+	e.mu.Unlock()
+}
+
+// sharedFetch materializes n's output on a local-cache miss: through the
+// shared prefix cache when n carries a shared key (reusing another
+// fit's result or computing once under cross-executor single-flight),
+// plainly otherwise. ins follows the localCompute contract. It returns
+// the output and its estimated size for local cache admission.
+func (e *Executor) sharedFetch(n *Node, ins []*engine.Collection) (*engine.Collection, int64) {
+	key, ok := e.sharedKey(n)
+	if !ok {
+		out := e.localCompute(n, ins)
+		return out, e.noteCompute(n, out)
+	}
+	v, bytes, hit := e.sharedCache.GetOrCompute(key, func() (any, int64) {
+		out := e.localCompute(n, ins)
+		return out, SizeOfSlice(out.Collect())
+	})
+	out := v.(*engine.Collection)
+	if hit {
+		e.noteSharedHit(n, out, bytes)
+	} else {
+		e.noteComputeSized(n, out, bytes)
+	}
+	return out, bytes
 }
 
 func (e *Executor) addTime(n *Node, d time.Duration) {
@@ -339,8 +419,7 @@ func (e *Executor) materialize(n *Node) *engine.Collection {
 			return v.(*engine.Collection)
 		}
 	}
-	out := e.localCompute(n, nil)
-	bytes := e.noteCompute(n, out)
+	out, bytes := e.sharedFetch(n, nil)
 	if e.cache != nil {
 		e.cache.Put(cacheKey(n.ID), out, bytes)
 	}

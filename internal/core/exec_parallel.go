@@ -68,11 +68,13 @@ func (e *Executor) planPass(root *Node) *passPlan {
 		switch {
 		case n.Kind == KindEstimator:
 			// Member as a fit task; inputs are fetched on demand.
-		case e.cachedNow(n):
+		case e.cachedNow(n) || e.sharedNow(n):
 			// Cache boundary (the root included — a refetch of a
 			// materialized node is a one-member pass): produce will
 			// serve the hit; nothing upstream is demanded, matching
 			// the sequential oracle, which never descends past a hit.
+			// A shared-prefix-cache entry is a boundary too — another
+			// fit already materialized this node's output.
 			p.boundary[n.ID] = true
 		default:
 			for _, d := range n.Deps {
@@ -305,9 +307,10 @@ func (e *Executor) produce(n *Node, ins []*engine.Collection) (out *engine.Colle
 	}
 	// A planned cache boundary can lose its entry between planning and
 	// production (tight budgets, concurrent eviction); localCompute then
-	// demands the missing inputs itself via nested passes.
-	out = e.localCompute(n, ins)
-	bytes := e.noteCompute(n, out)
+	// demands the missing inputs itself via nested passes. Nodes with a
+	// shared prefix key resolve through the cross-fit cache here —
+	// single-flight against every other executor attached to it.
+	out, bytes := e.sharedFetch(n, ins)
 	if e.cache != nil {
 		if !e.cache.Put(cacheKey(n.ID), out, bytes) && e.retainSpeculatively(n.ID) {
 			// Speculative cross-pass retention: the policy rejected the

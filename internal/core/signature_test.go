@@ -1,0 +1,94 @@
+package core
+
+import "testing"
+
+// sigOp is a signable transform: it carries its parameters as encodable
+// state, which is what lets PrefixSignatures key it by content.
+type sigOp struct {
+	name  string
+	state string
+}
+
+func (o *sigOp) Name() string                 { return o.name }
+func (o *sigOp) Apply(in any) any             { return in }
+func (o *sigOp) StateKind() string            { return "test.sig" }
+func (o *sigOp) EncodeState() ([]byte, error) { return []byte(o.state), nil }
+
+func TestPrefixSignaturesMatchAcrossGraphs(t *testing.T) {
+	build := func() (*Graph, *Node, *Node) {
+		g := NewGraph()
+		t1 := g.AddTransform(&sigOp{name: "f1", state: "p=1"}, g.Source)
+		t2 := g.AddTransform(&sigOp{name: "f2", state: "p=2"}, t1)
+		g.Sink = t2
+		return g, t1, t2
+	}
+	g1, a1, a2 := build()
+	g2, b1, b2 := build()
+	// Perturb g2's node IDs relative to g1 by adding an unrelated branch
+	// first — content signatures must not depend on graph identity.
+	s1 := PrefixSignatures(g1, "scope")
+	s2 := PrefixSignatures(g2, "scope")
+	if s1[a1.ID] == "" || s1[a2.ID] == "" {
+		t.Fatalf("signable chain got no keys: %v", s1)
+	}
+	if s1[a1.ID] != s2[b1.ID] || s1[a2.ID] != s2[b2.ID] {
+		t.Error("identical chains in different graphs keyed differently")
+	}
+	if s1[a1.ID] == s1[a2.ID] {
+		t.Error("distinct chain positions share a key")
+	}
+}
+
+func TestPrefixSignaturesDivergeOnStateAndScope(t *testing.T) {
+	g1 := NewGraph()
+	n1 := g1.AddTransform(&sigOp{name: "f", state: "p=1"}, g1.Source)
+	g2 := NewGraph()
+	n2 := g2.AddTransform(&sigOp{name: "f", state: "p=2"}, g2.Source)
+	if PrefixSignatures(g1, "s")[n1.ID] == PrefixSignatures(g2, "s")[n2.ID] {
+		t.Error("different operator state keyed identically")
+	}
+	if PrefixSignatures(g1, "s1")[n1.ID] == PrefixSignatures(g1, "s2")[n1.ID] {
+		t.Error("different scopes keyed identically")
+	}
+}
+
+func TestPrefixSignaturesStopAtUnsignableNodes(t *testing.T) {
+	g := NewGraph()
+	t1 := g.AddTransform(&sigOp{name: "f1", state: "a"}, g.Source)
+	// An ad-hoc closure has no codec and no resolver: it and everything
+	// downstream must stay unkeyed.
+	t2 := g.AddTransform(NewTransform("adhoc", func(in any) any { return in }), t1)
+	t3 := g.AddTransform(&sigOp{name: "f3", state: "c"}, t2)
+	gather := g.AddGather([]*Node{t1, t3})
+	sigs := PrefixSignatures(g, "s")
+	if sigs[t1.ID] == "" {
+		t.Error("signable prefix node got no key")
+	}
+	for _, n := range []*Node{t2, t3, gather} {
+		if sigs[n.ID] != "" {
+			t.Errorf("node #%d downstream of an unsignable op got key %q", n.ID, sigs[n.ID])
+		}
+	}
+	// A gather over fully signable branches is keyed.
+	g2 := NewGraph()
+	b1 := g2.AddTransform(&sigOp{name: "f1", state: "a"}, g2.Source)
+	b2 := g2.AddTransform(&sigOp{name: "f2", state: "b"}, g2.Source)
+	ga := g2.AddGather([]*Node{b1, b2})
+	if PrefixSignatures(g2, "s")[ga.ID] == "" {
+		t.Error("gather over signable branches got no key")
+	}
+}
+
+func TestPrefixSignaturesSkipEstimatorSubgraphs(t *testing.T) {
+	g := NewGraph()
+	t1 := g.AddTransform(&sigOp{name: "f1", state: "a"}, g.Source)
+	est := g.AddEstimator(&doublerEst{weight: 1}, t1, false)
+	applied := g.AddApplyModel(est, t1)
+	sigs := PrefixSignatures(g, "s")
+	if sigs[est.ID] != "" || sigs[applied.ID] != "" {
+		t.Error("estimator or apply-model node was keyed; candidates diverge there")
+	}
+	if sigs[t1.ID] == "" {
+		t.Error("prefix upstream of the estimator lost its key")
+	}
+}

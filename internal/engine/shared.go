@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"sync"
+)
+
+// SharedCache is a cross-executor cache of node outputs keyed by content
+// signature rather than by graph node identity. It is the mechanism
+// behind cross-candidate cache sharing in hyperparameter search: several
+// concurrent fits whose DAGs share a prefix (same featurization,
+// different solver hyperparameters) key the prefix nodes identically, so
+// the first fit to demand a shared node computes it and every other fit
+// reuses the materialized result — the paper's pipeline-level reuse
+// argument applied one level up, across pipelines.
+//
+// Correctness rests on the caller's scoping contract: a SharedCache must
+// only be shared by fits whose keyed nodes are pure functions of
+// *identical* input data (keystone/tune creates one per search round,
+// because successive halving changes the training subset between
+// rounds). Keys are expected to be collision-free content signatures
+// (core.PrefixSignatures).
+//
+// GetOrCompute is single-flight per key across every executor attached
+// to the cache: concurrent demands for one shared node run one
+// computation, with the other callers blocking on its result. A
+// computation that panics (estimator failure, cooperative cancellation)
+// poisons nobody — the flight is discarded and the next waiter computes
+// in its place, so one canceled candidate never wedges its round.
+type SharedCache struct {
+	mu      sync.Mutex
+	budget  int64 // <= 0 means unlimited
+	used    int64
+	entries map[string]*sharedEntry
+	order   entryList // recency over stored entries, oldest first
+	flights map[string]*sharedFlight
+
+	hits, coalesced, computes, rejected int64
+}
+
+// sharedEntry is one stored value; it reuses the cache manager's
+// intrusive list node so recency updates stay O(1).
+type sharedEntry struct {
+	elem cacheEntry // elem.key/value/size are the payload
+}
+
+// sharedFlight is the single-flight record for one in-progress shared
+// computation.
+type sharedFlight struct {
+	done chan struct{}
+	val  any
+	size int64
+	ok   bool // false: the computation panicked; waiters must retry
+}
+
+// NewSharedCache creates a shared prefix cache bounded to budget bytes
+// (non-positive = unlimited). Eviction is LRU; an entry that cannot fit
+// even after evicting everything is simply not stored (the demanding
+// caller still receives the computed value).
+func NewSharedCache(budget int64) *SharedCache {
+	s := &SharedCache{
+		budget:  budget,
+		entries: make(map[string]*sharedEntry),
+		flights: make(map[string]*sharedFlight),
+	}
+	s.order.init()
+	return s
+}
+
+// Contains reports whether key is currently stored, without touching
+// recency or counters — the planning peek pass schedulers use to treat
+// shared nodes as cache boundaries.
+func (s *SharedCache) Contains(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// GetOrCompute returns the value for key, computing it at most once
+// across all concurrent callers. compute returns the value and its size
+// in bytes; it runs without the cache lock held. hit reports whether the
+// value came from the cache or an in-flight computation (true) or from
+// this caller's own compute (false). If compute panics, the panic
+// propagates to this caller and waiting callers retry the computation
+// themselves.
+func (s *SharedCache) GetOrCompute(key string, compute func() (any, int64)) (val any, size int64, hit bool) {
+	for {
+		s.mu.Lock()
+		if e, ok := s.entries[key]; ok {
+			s.hits++
+			unlink(&e.elem)
+			s.order.pushNewest(&e.elem)
+			s.mu.Unlock()
+			return e.elem.value, e.elem.size, true
+		}
+		if f, ok := s.flights[key]; ok {
+			s.mu.Unlock()
+			<-f.done
+			if !f.ok {
+				continue // the computer panicked; race to take over
+			}
+			s.mu.Lock()
+			s.coalesced++
+			s.mu.Unlock()
+			return f.val, f.size, true
+		}
+		f := &sharedFlight{done: make(chan struct{})}
+		s.flights[key] = f
+		s.mu.Unlock()
+
+		func() {
+			defer func() {
+				if !f.ok {
+					// compute panicked: discard the flight, release the
+					// waiters to retry, and let the panic propagate.
+					s.mu.Lock()
+					delete(s.flights, key)
+					s.mu.Unlock()
+					close(f.done)
+				}
+			}()
+			f.val, f.size = compute()
+			f.ok = true
+		}()
+
+		s.mu.Lock()
+		s.computes++
+		s.storeLocked(key, f.val, f.size)
+		delete(s.flights, key)
+		s.mu.Unlock()
+		close(f.done)
+		return f.val, f.size, false
+	}
+}
+
+// storeLocked admits a computed value under the budget, evicting oldest
+// entries to make room; values that can never fit are dropped (counted
+// as rejected). Caller holds s.mu.
+func (s *SharedCache) storeLocked(key string, val any, size int64) {
+	if _, ok := s.entries[key]; ok {
+		return
+	}
+	if s.budget > 0 {
+		if size > s.budget {
+			s.rejected++
+			return
+		}
+		for s.used+size > s.budget {
+			v := s.order.oldest()
+			if v == nil {
+				s.rejected++
+				return
+			}
+			delete(s.entries, v.key)
+			unlink(v)
+			s.used -= v.size
+		}
+	}
+	e := &sharedEntry{elem: cacheEntry{key: key, value: val, size: size}}
+	s.entries[key] = e
+	s.order.pushNewest(&e.elem)
+	s.used += size
+}
+
+// SharedCacheStats are the cumulative counters of one SharedCache.
+type SharedCacheStats struct {
+	// Hits counts demands served from a stored entry; Coalesced counts
+	// demands that joined another caller's in-flight computation. Both
+	// are reuse — work that did not run twice.
+	Hits, Coalesced int64
+	// Computes counts computations that actually ran (one per distinct
+	// key, absent eviction or panics).
+	Computes int64
+	// Rejected counts computed values the budget refused to store.
+	Rejected int64
+	// UsedBytes is the bytes currently stored.
+	UsedBytes int64
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (s *SharedCache) Stats() SharedCacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SharedCacheStats{
+		Hits:      s.hits,
+		Coalesced: s.coalesced,
+		Computes:  s.computes,
+		Rejected:  s.rejected,
+		UsedBytes: s.used,
+	}
+}

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSharedCacheComputeOnceThenHit(t *testing.T) {
+	s := NewSharedCache(0)
+	calls := 0
+	compute := func() (any, int64) {
+		calls++
+		return "value", 5
+	}
+	v, size, hit := s.GetOrCompute("k", compute)
+	if v != "value" || size != 5 || hit {
+		t.Fatalf("first GetOrCompute = (%v, %d, %t), want (value, 5, false)", v, size, hit)
+	}
+	v, size, hit = s.GetOrCompute("k", compute)
+	if v != "value" || size != 5 || !hit {
+		t.Fatalf("second GetOrCompute = (%v, %d, %t), want (value, 5, true)", v, size, hit)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	st := s.Stats()
+	if st.Computes != 1 || st.Hits != 1 || st.Coalesced != 0 || st.UsedBytes != 5 {
+		t.Errorf("stats = %+v, want 1 compute, 1 hit, 0 coalesced, 5 bytes", st)
+	}
+	if !s.Contains("k") || s.Contains("other") {
+		t.Error("Contains misreports stored keys")
+	}
+}
+
+func TestSharedCacheCoalescesConcurrentDemands(t *testing.T) {
+	s := NewSharedCache(0)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.GetOrCompute("k", func() (any, int64) {
+			close(entered)
+			<-release
+			return 42, 8
+		})
+	}()
+	<-entered // the computer is inside compute; a second demand must wait
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, _, hit := s.GetOrCompute("k", func() (any, int64) {
+			t.Error("second caller computed despite in-flight computation")
+			return nil, 0
+		})
+		if v != 42 || !hit {
+			t.Errorf("waiter got (%v, hit=%t), want (42, true)", v, hit)
+		}
+	}()
+	close(release)
+	<-done
+	wg.Wait()
+	// Whether the second demand joined the in-flight computation
+	// (coalesced) or landed after the store (hit) depends on goroutine
+	// timing; either way exactly one computation ran and one demand was
+	// served by reuse.
+	st := s.Stats()
+	if st.Computes != 1 || st.Coalesced+st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 compute and 1 reuse (hit or coalesced)", st)
+	}
+}
+
+func TestSharedCachePanicReleasesWaitersToRetry(t *testing.T) {
+	s := NewSharedCache(0)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		s.GetOrCompute("k", func() (any, int64) {
+			close(entered)
+			<-release
+			panic("fit canceled")
+		})
+	}()
+	<-entered
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// This caller joins the doomed flight, then must retry and
+		// compute the value itself.
+		v, _, hit := s.GetOrCompute("k", func() (any, int64) { return "recovered", 3 })
+		if v != "recovered" || hit {
+			t.Errorf("retry got (%v, hit=%t), want (recovered, false)", v, hit)
+		}
+	}()
+	close(release)
+	if r := <-panicked; r != "fit canceled" {
+		t.Fatalf("computer recovered %v, want the original panic", r)
+	}
+	<-done
+	st := s.Stats()
+	if st.Computes != 1 {
+		t.Errorf("computes = %d, want 1 (the panicked attempt is not counted)", st.Computes)
+	}
+	if !s.Contains("k") {
+		t.Error("retried value was not stored")
+	}
+}
+
+func TestSharedCacheBudgetEvictsLRU(t *testing.T) {
+	s := NewSharedCache(100)
+	s.GetOrCompute("a", func() (any, int64) { return "a", 60 })
+	s.GetOrCompute("b", func() (any, int64) { return "b", 30 })
+	s.GetOrCompute("a", func() (any, int64) { return "a", 60 }) // refresh a's recency
+	s.GetOrCompute("c", func() (any, int64) { return "c", 30 }) // evicts b (oldest)
+	if !s.Contains("a") || s.Contains("b") || !s.Contains("c") {
+		t.Errorf("after eviction: a=%t b=%t c=%t, want a and c only",
+			s.Contains("a"), s.Contains("b"), s.Contains("c"))
+	}
+	// A value larger than the whole budget is returned but never stored.
+	v, _, hit := s.GetOrCompute("huge", func() (any, int64) { return "huge", 200 })
+	if v != "huge" || hit || s.Contains("huge") {
+		t.Errorf("oversized entry: v=%v hit=%t stored=%t, want computed and dropped", v, hit, s.Contains("huge"))
+	}
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", st.Rejected)
+	}
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"reflect"
+
+	"keystoneml/keystone"
+	"keystoneml/keystone/registry"
+	"keystoneml/keystone/serve"
+	"keystoneml/keystone/tune"
+)
+
+// The prefix operators are registered stateless ops so they are
+// content-addressable: candidates built from them share cached prefixes.
+func tuneScale(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = 2 * v
+	}
+	return out
+}
+
+func tuneShift(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v + 1
+	}
+	return out
+}
+
+func init() {
+	keystone.RegisterStatelessOp("tune.exp.scale", tuneScale)
+	keystone.RegisterStatelessOp("tune.exp.shift", tuneShift)
+}
+
+// tuneBench is the machine-readable result of the tune experiment.
+// shared_speedup is the tracked headline metric (isolated/shared search
+// wall time, higher is better); the booleans record the correctness
+// side-conditions (sharing must not change the winner's predictions,
+// and the winner must deploy end to end).
+type tuneBench struct {
+	SharedSpeedup   float64 `json:"shared_speedup"`
+	SharedSec       float64 `json:"shared_sec"`
+	IsolatedSec     float64 `json:"isolated_sec"`
+	SharedHits      int64   `json:"shared_hits"`
+	SharedComputes  int64   `json:"shared_computes"`
+	Candidates      int     `json:"candidates"`
+	WinnerIdentical bool    `json:"winner_identical"`
+	HalvingRounds   int     `json:"halving_rounds"`
+	Deployed        bool    `json:"deployed"`
+}
+
+// tuneData builds a deterministic labeled dataset with class structure
+// (class c clusters around cos((c+1)(j+1)) plus a per-record wiggle).
+func tuneData(n, dim, classes int) ([][]float64, [][]float64) {
+	recs := make([][]float64, n)
+	labs := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		c := i % classes
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = math.Cos(float64((c+1)*(j+1))) + 0.1*math.Sin(float64(i*(j+1)))
+		}
+		y := make([]float64, classes)
+		y[c] = 1
+		recs[i], labs[i] = x, y
+	}
+	return recs, labs
+}
+
+// TuneSearch demonstrates the hyperparameter-search subsystem:
+//
+//  1. Cross-candidate cache sharing: a solver grid whose candidates all
+//     share a 3-op featurization prefix is searched twice — once with the
+//     round-scoped shared prefix cache (the default) and once fully
+//     isolated. The prefix is computed once per round instead of once per
+//     candidate, so the shared search must be markedly faster, and the
+//     winner's predictions must be bit-identical to fitting that
+//     candidate standalone (sharing is a pure optimization).
+//  2. Successive halving + deploy: a feature-width grid is searched with
+//     real halving rounds, and the winner is rolled out to a live route
+//     through the registry-backed canary path (tune.DeployWinner),
+//     closing the search -> artifact -> serving loop.
+func TuneSearch(w io.Writer, scale Scale) {
+	header(w, "Hyperparameter search: cross-candidate sharing and winner deploy")
+	n, dim, features := 480, 256, 512
+	if scale == Full {
+		n, features = 960, 768
+	}
+	recs, labs := tuneData(n, dim, 3)
+	ctx := context.Background()
+
+	// Phase 1: one full-data round over a solver grid, shared vs
+	// isolated. All candidates share the scale -> shift -> RandomFeatures
+	// prefix; only the solver's iteration count differs.
+	build := func(p tune.Params) *keystone.Pipeline[[]float64, []float64] {
+		pl := keystone.Input[[]float64]().
+			Then(keystone.NewOp("tune.exp.scale", tuneScale)).
+			Then(keystone.NewOp("tune.exp.shift", tuneShift)).
+			Then(keystone.RandomFeatures(dim, features, 1.0, 7))
+		return keystone.ThenEstimator(pl, keystone.LinearSolver(p.Int("iters")))
+	}
+	grid := tune.Grid(map[string][]float64{"iters": {2, 3, 4, 5, 6, 8}})
+	searchOpts := func(share bool) []tune.Option[[]float64, []float64] {
+		return []tune.Option[[]float64, []float64]{
+			tune.WithParallelism[[]float64, []float64](1), // sequential: per-core work shows up in wall time
+			tune.WithMinSample[[]float64, []float64](n),   // single round on the full split
+			tune.WithSharing[[]float64, []float64](share),
+			// Small profiling samples: candidate fits are repeated many
+			// times in a search, so per-fit profiling should be cheap.
+			tune.WithFitOptions[[]float64, []float64](keystone.WithSampleSizes(32, 64)),
+		}
+	}
+
+	var out tuneBench
+	out.Candidates = len(grid)
+	var winner *keystone.Fitted[[]float64, []float64]
+	var report *tune.Report
+	out.SharedSec = bestOfSec(2, func() {
+		var err error
+		winner, report, err = tune.Search(ctx, build, grid, recs, labs, searchOpts(true)...)
+		if err != nil {
+			panic(err)
+		}
+	})
+	out.IsolatedSec = bestOfSec(2, func() {
+		if _, _, err := tune.Search(ctx, build, grid, recs, labs, searchOpts(false)...); err != nil {
+			panic(err)
+		}
+	})
+	out.SharedSpeedup = out.IsolatedSec / out.SharedSec
+	out.SharedHits = report.SharedHits + report.SharedCoalesced
+	out.SharedComputes = report.SharedComputes
+	fmt.Fprintf(w, "%-10s %9s %9s %9s\n", "mode", "wall", "hits", "computes")
+	fmt.Fprintf(w, "%-10s %8.0fms %9d %9d\n", "shared", 1e3*out.SharedSec, out.SharedHits, out.SharedComputes)
+	fmt.Fprintf(w, "%-10s %8.0fms %9s %9s\n", "isolated", 1e3*out.IsolatedSec, "-", "-")
+	fmt.Fprintf(w, "sharing speedup over %d candidates: %.2fx (want >= 1.3x)\n", len(grid), out.SharedSpeedup)
+
+	// Correctness side-condition: refit the winning candidate standalone
+	// on the same training split (the search holds out every 4th record
+	// at the default 0.25) and compare predictions bit for bit.
+	var trainR, valR [][]float64
+	var trainL [][]float64
+	for i := range recs {
+		if (i+1)%4 == 0 {
+			valR = append(valR, recs[i])
+		} else {
+			trainR = append(trainR, recs[i])
+			trainL = append(trainL, labs[i])
+		}
+	}
+	standalone, err := build(report.Candidates[0].Params).Fit(ctx, trainR, trainL,
+		keystone.WithWorkers(1), keystone.WithSampleSizes(32, 64))
+	if err != nil {
+		panic(err)
+	}
+	got, err1 := winner.TransformBatch(ctx, valR)
+	want, err2 := standalone.TransformBatch(ctx, valR)
+	out.WinnerIdentical = err1 == nil && err2 == nil && reflect.DeepEqual(got, want)
+	fmt.Fprintf(w, "winner %q bit-identical to standalone fit: %v\n",
+		report.Candidates[0].Name, out.WinnerIdentical)
+
+	// Phase 2: successive halving over a feature-width grid, winner
+	// auto-deployed to a live route through a real on-disk registry.
+	halveDeploy(w, ctx, &out)
+	emitBench("tune", out)
+}
+
+// halveDeploy runs the multi-round half of the experiment: halving over
+// feature widths, then tune.DeployWinner staging the winner as a canary
+// and promoting it live, verified by predicting through the route.
+func halveDeploy(w io.Writer, ctx context.Context, out *tuneBench) {
+	// Lower-dimensional data where feature-map width visibly drives
+	// accuracy, so halving has a real ranking to get right.
+	dim := 96
+	recs, labs := tuneData(480, dim, 3)
+	build := func(p tune.Params) *keystone.Pipeline[[]float64, []float64] {
+		pl := keystone.Input[[]float64]().
+			Then(keystone.NewOp("tune.exp.scale", tuneScale)).
+			Then(keystone.RandomFeatures(dim, p.Int("features"), 1.0, 7))
+		return keystone.ThenEstimator(pl, keystone.LinearSolver(10))
+	}
+	grid := tune.Grid(map[string][]float64{"features": {8, 16, 64, 192}})
+
+	dir, err := os.MkdirTemp("", "keystone-tune-exp")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	reg, err := registry.Open(dir)
+	if err != nil {
+		panic(err)
+	}
+	srv := serve.NewServer()
+	defer srv.Close()
+	initial, err := build(grid[0]).Fit(ctx, recs[:64], labs[:64])
+	if err != nil {
+		panic(err)
+	}
+	rt, err := serve.Register(srv, "tuned", initial, serve.VectorCodec{Dim: dim}, serve.WithArtifactStore(reg))
+	if err != nil {
+		panic(err)
+	}
+
+	winner, report, err := tune.Search(ctx, build, grid, recs, labs,
+		tune.WithParallelism[[]float64, []float64](4),
+		tune.WithMinSample[[]float64, []float64](64),
+		tune.DeployWinner(rt, 0.5))
+	if err != nil {
+		panic(err)
+	}
+	out.HalvingRounds = report.Rounds
+	fmt.Fprintf(w, "\n%-14s %9s %7s  %s\n", "candidate", "accuracy", "rounds", "trajectory")
+	for _, c := range report.Candidates {
+		fmt.Fprintf(w, "%-14s %9.3f %7d  %v\n", c.Name, c.Accuracy, c.Rounds, c.Trajectory)
+	}
+	wantPred, err := winner.Transform(ctx, recs[3])
+	if err != nil {
+		panic(err)
+	}
+	gotPred, err := rt.Predict(ctx, recs[3])
+	out.Deployed = err == nil && report.DeployedVersion > 1 && report.DeployedArtifact != "" &&
+		reflect.DeepEqual(gotPred, wantPred)
+	fmt.Fprintf(w, "winner deployed: version %d, artifact %.12s..., route serves winner: %v\n",
+		report.DeployedVersion, report.DeployedArtifact, out.Deployed)
+}

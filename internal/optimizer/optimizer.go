@@ -97,6 +97,15 @@ type Plan struct {
 	// at execution time (pass-plan-order dispatch, the scheduler's
 	// pre-plan behaviour), for comparisons and opt-outs.
 	DispatchFIFO bool
+	// Shared, when non-nil, attaches a cross-fit shared prefix cache at
+	// execution time: nodes of this plan's graph that carry a content
+	// signature (core.PrefixSignatures under SharedScope) consult and
+	// fill it, so concurrent fits of pipelines sharing a prefix reuse
+	// each other's materialized intermediates. The caller owns the
+	// cache's data-identity scope (see engine.SharedCache); SharedScope
+	// must identify the training data bound at Execute time.
+	Shared      *engine.SharedCache
+	SharedScope string
 	// OptimizeTime is the total optimization overhead (sampling +
 	// profiling + planning), Figure 9's "Optimize" stage.
 	OptimizeTime time.Duration
@@ -227,6 +236,7 @@ func (p *Plan) Execute(data, labels *engine.Collection, parallelism int) (map[in
 	ctx := engine.NewContext(parallelism)
 	ex := core.NewExecutor(p.Graph, ctx, p.DefaultCache(0), data, labels)
 	p.configureScheduler(ex)
+	p.configureSharing(ex)
 	return ex.Run()
 }
 
@@ -239,6 +249,16 @@ func (p *Plan) configureScheduler(ex *core.Executor) {
 	}
 	if p.Schedule != nil {
 		ex.SetSchedulePlan(p.Schedule)
+	}
+}
+
+// configureSharing attaches the plan's shared prefix cache (if any) to an
+// executor about to run it, keying this graph's nodes by content
+// signature. Split from configureScheduler because DispatchFIFO returns
+// early there while sharing applies regardless of dispatch order.
+func (p *Plan) configureSharing(ex *core.Executor) {
+	if p.Shared != nil {
+		ex.SetSharedCache(p.Shared, core.PrefixSignatures(p.Graph, p.SharedScope))
 	}
 }
 
@@ -261,5 +281,6 @@ func (p *Plan) ExecuteContext(ctx context.Context, data, labels *engine.Collecti
 	ectx := engine.NewContext(parallelism)
 	ex := core.NewExecutor(p.Graph, ectx, cache, data, labels)
 	p.configureScheduler(ex)
+	p.configureSharing(ex)
 	return ex.RunContext(ctx)
 }

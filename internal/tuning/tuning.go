@@ -3,11 +3,19 @@
 // over pipeline configurations with successive halving, reusing the
 // optimizer's sampling machinery so candidate configurations are
 // evaluated on growing data fractions and losers are eliminated early.
+//
+// The round structure lives in Halve, a generic driver over an abstract
+// fit function: the graph-level Search here and the public keystone/tune
+// subsystem both run on it, so round accounting, the concurrency bound
+// and cancellation semantics exist exactly once.
 package tuning
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"keystoneml/internal/core"
@@ -34,7 +42,11 @@ type Config struct {
 	// MinSample is the training subset size of the first round (default
 	// 64); each round multiplies it by Eta until the full set is used.
 	MinSample int
-	// Parallelism bounds execution; 0 = NumCPU.
+	// Parallelism is the total worker budget for the search: at most
+	// this many candidates fit concurrently, and the budget is divided
+	// between them so nested fits never oversubscribe the machine
+	// (a round of 4 candidates under Parallelism 8 runs 4 fits with 2
+	// workers each). 0 = NumCPU.
 	Parallelism int
 }
 
@@ -52,74 +64,222 @@ func (c Config) minSample() int {
 	return 64
 }
 
-// Result describes one evaluated candidate.
-type Result struct {
-	Name      string
-	Accuracy  float64 // on the validation set, final round it survived
-	Rounds    int     // rounds survived
+func (c Config) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
+// Round describes one successive-halving round to the fit function.
+type Round struct {
+	// Index is the 0-based round number.
+	Index int
+	// N is the training-subset size candidates see this round.
+	N int
+	// Alive lists the candidate indices fitting this round.
+	Alive []int
+}
+
+// FitFunc fits one candidate on a round's training subset and returns
+// its validation score (higher is better). workers is the portion of the
+// search's parallelism budget granted to this fit; implementations must
+// bound their own execution by it. A FitFunc observing ctx done should
+// return ctx.Err() promptly — the driver stops dispatching and surfaces
+// the error.
+type FitFunc func(ctx context.Context, r Round, cand, workers int) (float64, error)
+
+// Outcome is one candidate's record from a Halve run.
+type Outcome struct {
+	// Index is the candidate's position in the caller's candidate list.
+	Index int
+	// Scores holds the candidate's validation score after every round it
+	// participated in (Scores[r] is round r's score).
+	Scores []float64
+	// Rounds is the number of rounds survived (== len(Scores)).
+	Rounds int
+	// TrainTime is total wall time spent fitting this candidate.
 	TrainTime time.Duration
 }
 
-// Search runs successive halving: all candidates train on a small
-// subsample, are scored on the validation set, and only the top 1/Eta
-// advance to a subsample Eta times larger, until one candidate has seen
-// the full training set. It returns results sorted best-first.
-func Search(cands []Candidate, train, val workload.Labeled, cfg Config) []Result {
-	if len(cands) == 0 {
-		return nil
+// Score returns the candidate's final (largest-subset) score, or 0 if it
+// never completed a round.
+func (o Outcome) Score() float64 {
+	if len(o.Scores) == 0 {
+		return 0
 	}
-	type state struct {
-		cand   Candidate
-		result Result
+	return o.Scores[len(o.Scores)-1]
+}
+
+// Halve runs successive halving over numCands candidates whose training
+// set holds fullN records: every round fits the surviving candidates on
+// a subset (MinSample records, growing by Eta per round), scores them,
+// and keeps the top 1/Eta, until the survivors have fitted the full set.
+// Fits within a round run concurrently, bounded by cfg.Parallelism, with
+// the worker budget divided evenly among them.
+//
+// roundStart, if non-nil, runs before each round's fits are dispatched
+// (keystone/tune uses it to scope a fresh shared prefix cache to the
+// round's training subset). Cancellation is clean at both grains: ctx
+// done between rounds starts no further round, and ctx done mid-round
+// stops dispatching, waits for in-flight fits to unwind, and returns the
+// context error. The first fit error likewise aborts the search.
+//
+// Outcomes are returned best-first: by rounds survived, then final
+// score, then candidate order.
+func Halve(ctx context.Context, numCands, fullN int, cfg Config, roundStart func(Round), fit FitFunc) ([]Outcome, error) {
+	if numCands == 0 {
+		return nil, nil
 	}
-	alive := make([]*state, len(cands))
-	for i, c := range cands {
-		alive[i] = &state{cand: c, result: Result{Name: c.Name}}
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	var finished []*state
+	outcomes := make([]Outcome, numCands)
+	for i := range outcomes {
+		outcomes[i].Index = i
+	}
+	alive := make([]int, numCands)
+	for i := range alive {
+		alive[i] = i
+	}
+	budget := cfg.parallelism()
 	sampleN := cfg.minSample()
-	fullN := train.Data.Count()
-	round := 0
-	for len(alive) > 0 {
-		n := min(sampleN, fullN)
-		data := train.Data.Sample(n)
-		labels := train.Labels.Sample(n)
-		for _, s := range alive {
-			s.result.Rounds = round + 1
-			g := s.cand.Build()
-			start := time.Now()
-			oc := cfg.Optimizer
-			oc.Parallelism = cfg.Parallelism
-			plan := optimizer.Optimize(g, data, labels, oc)
-			models, _, _ := plan.Execute(data, labels, cfg.Parallelism)
-			s.result.TrainTime += time.Since(start)
-			fitted := core.NewFitted(g, models, engine.NewContext(cfg.Parallelism))
-			s.result.Accuracy = evaluate(fitted, val)
+	for round := 0; ; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err // cancel between rounds: no new round starts
 		}
-		sort.Slice(alive, func(a, b int) bool {
-			return alive[a].result.Accuracy > alive[b].result.Accuracy
+		n := min(sampleN, fullN)
+		r := Round{Index: round, N: n, Alive: append([]int(nil), alive...)}
+		if roundStart != nil {
+			roundStart(r)
+		}
+		conc := min(len(alive), budget)
+		perFit := max(1, budget/conc)
+		sem := make(chan struct{}, conc)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		for _, idx := range alive {
+			mu.Lock()
+			abort := firstErr != nil
+			mu.Unlock()
+			if abort || ctx.Err() != nil {
+				break // mid-round cancel/failure: abandon the rest
+			}
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(idx int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				start := time.Now()
+				score, err := fit(ctx, r, idx, perFit)
+				mu.Lock()
+				defer mu.Unlock()
+				outcomes[idx].TrainTime += time.Since(start)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				outcomes[idx].Scores = append(outcomes[idx].Scores, score)
+				outcomes[idx].Rounds = round + 1
+			}(idx)
+		}
+		wg.Wait() // no leaked fits: every dispatched fit unwinds here
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sort.SliceStable(alive, func(a, b int) bool {
+			return outcomes[alive[a]].Score() > outcomes[alive[b]].Score()
 		})
-		if n >= fullN || len(alive) == 1 {
-			finished = append(finished, alive...)
-			break
+		if n >= fullN {
+			break // survivors have seen the full training set
 		}
 		keep := max(1, len(alive)/cfg.eta())
-		finished = append(finished, alive[keep:]...)
 		alive = alive[:keep]
 		sampleN *= cfg.eta()
-		round++
 	}
-	sort.Slice(finished, func(a, b int) bool {
-		if finished[a].result.Rounds != finished[b].result.Rounds {
-			return finished[a].result.Rounds > finished[b].result.Rounds
+	sort.SliceStable(outcomes, func(a, b int) bool {
+		if outcomes[a].Rounds != outcomes[b].Rounds {
+			return outcomes[a].Rounds > outcomes[b].Rounds
 		}
-		return finished[a].result.Accuracy > finished[b].result.Accuracy
+		return outcomes[a].Score() > outcomes[b].Score()
 	})
-	out := make([]Result, len(finished))
-	for i, s := range finished {
-		out[i] = s.result
+	return outcomes, nil
+}
+
+// Result describes one evaluated candidate.
+type Result struct {
+	Name string
+	// Index is the candidate's position in the Search candidate list.
+	Index    int
+	Accuracy float64 // on the validation set, final round it survived
+	Rounds   int     // rounds survived
+	// Trajectory holds the per-round validation accuracies.
+	Trajectory []float64
+	TrainTime  time.Duration
+}
+
+// Search runs successive halving over graph-level candidates and returns
+// results sorted best-first. It is SearchContext without cancellation.
+func Search(cands []Candidate, train, val workload.Labeled, cfg Config) []Result {
+	results, err := SearchContext(context.Background(), cands, train, val, cfg)
+	if err != nil {
+		// Only cancellation or a fit error can fail the search, and the
+		// background context never cancels; a fit failure panics through
+		// (matching Optimize/Execute, whose panics Search never caught).
+		panic(fmt.Sprintf("tuning: search failed: %v", err))
 	}
-	return out
+	return results
+}
+
+// SearchContext runs successive halving: all candidates train on a small
+// subsample, are scored on the validation set, and only the top 1/Eta
+// advance to a subsample Eta times larger, until the survivors have seen
+// the full training set. Candidates within a round fit concurrently
+// under cfg.Parallelism. Cancellation aborts cleanly between rounds or
+// mid-fit; the partial results are discarded and ctx's error returned.
+func SearchContext(ctx context.Context, cands []Candidate, train, val workload.Labeled, cfg Config) ([]Result, error) {
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	fit := func(ctx context.Context, r Round, cand, workers int) (float64, error) {
+		data := train.Data.Sample(r.N)
+		labels := train.Labels.Sample(r.N)
+		g := cands[cand].Build()
+		oc := cfg.Optimizer
+		oc.Parallelism = workers
+		plan, err := optimizer.OptimizeContext(ctx, g, data, labels, oc)
+		if err != nil {
+			return 0, err
+		}
+		models, _, _, err := plan.ExecuteContext(ctx, data, labels, workers, plan.DefaultCache(0))
+		if err != nil {
+			return 0, err
+		}
+		fitted := core.NewFitted(g, models, engine.NewContext(workers))
+		return evaluate(fitted, val), nil
+	}
+	outcomes, err := Halve(ctx, len(cands), train.Data.Count(), cfg, nil, fit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(outcomes))
+	for i, o := range outcomes {
+		out[i] = Result{
+			Name:       cands[o.Index].Name,
+			Index:      o.Index,
+			Accuracy:   o.Score(),
+			Rounds:     o.Rounds,
+			Trajectory: o.Scores,
+			TrainTime:  o.TrainTime,
+		}
+	}
+	return out, nil
 }
 
 func evaluate(fitted *core.Fitted, val workload.Labeled) float64 {

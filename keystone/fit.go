@@ -91,6 +91,14 @@ func (p *Pipeline[I, O]) Fit(ctx context.Context, records []I, labels [][]float6
 		return nil, fmt.Errorf("keystone: optimize: %w", err)
 	}
 	plan.DispatchFIFO = cfg.scheduler == SchedulerFIFO
+	if cfg.prefix != nil {
+		// Scope the shared keys by the training data shape: equal-data
+		// fits (the PrefixCache contract) key identically, while a cache
+		// mistakenly reused across differently sized subsets degrades to
+		// zero sharing instead of serving wrong intermediates.
+		plan.Shared = cfg.prefix.sc
+		plan.SharedScope = fmt.Sprintf("n=%d;labeled=%t", len(records), labels != nil)
+	}
 	models, _, report, err := plan.ExecuteContext(ctx, data, lab, cfg.workers, cfg.cache(plan))
 	if err != nil {
 		return nil, fmt.Errorf("keystone: fit: %w", err)
@@ -217,10 +225,13 @@ type FitInfo struct {
 type NodeReport struct {
 	Name      string
 	Kind      string
-	Computes  int           // times the operator ran
-	CacheHits int           // accesses served from the cache
-	Coalesced int           // accesses coalesced onto in-flight computes
-	Time      time.Duration // total local compute time
+	Computes  int // times the operator ran
+	CacheHits int // accesses served from the cache
+	Coalesced int // accesses coalesced onto in-flight computes
+	// SharedHits counts accesses served by a WithPrefixCache shared
+	// cache — work another fit (or an earlier shared access) already did.
+	SharedHits int
+	Time       time.Duration // total local compute time
 }
 
 func newFitInfo(plan *optimizer.Plan, report *core.ExecReport, logical map[int]string) FitInfo {
@@ -262,12 +273,13 @@ func nodeReports(g *core.Graph, report *core.ExecReport) []NodeReport {
 	for _, id := range ids {
 		s := report.Nodes[id]
 		out = append(out, NodeReport{
-			Name:      s.Name,
-			Kind:      s.Kind.String(),
-			Computes:  s.Computes,
-			CacheHits: s.Hits,
-			Coalesced: s.Coalesced,
-			Time:      s.Time,
+			Name:       s.Name,
+			Kind:       s.Kind.String(),
+			Computes:   s.Computes,
+			CacheHits:  s.Hits,
+			Coalesced:  s.Coalesced,
+			SharedHits: s.SharedHits,
+			Time:       s.Time,
 		})
 	}
 	return out

@@ -111,6 +111,7 @@ type fitConfig struct {
 	nodes       int
 	scheduler   SchedulerPolicy
 	kernels     KernelBackend
+	prefix      *PrefixCache
 }
 
 func defaultFitConfig() fitConfig {

@@ -198,6 +198,16 @@ func (rt *Route[I, O]) LiveVersion() int {
 	return 0
 }
 
+// LiveArtifact returns the artifact reference of the version currently
+// serving ("" when the route has no artifact store or no live version) —
+// the registry entry tune.DeployWinner reports after a deploy.
+func (rt *Route[I, O]) LiveArtifact() string {
+	if v := rt.cur.Load(); v != nil {
+		return v.artifact
+	}
+	return ""
+}
+
 // SetRefit installs the trainer backing POST /routes/{name}/deploy: the
 // endpoint calls fn and deploys its result, making hot-swap reachable
 // over HTTP. fn runs under the request's context, so a disconnecting
