@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet staticcheck docs-check bench-smoke bench bench-sched bench-serve bench-canary bench-dist bench-kernels bench-tune benchdiff serve serve-smoke dist-smoke ci
+.PHONY: build test race vet staticcheck docs-check bench-smoke bench bench-sched bench-serve bench-canary bench-dist bench-kernels bench-tune benchdiff flake serve serve-smoke dist-smoke ci
 
 build:
 	$(GO) build ./...
@@ -92,8 +92,16 @@ bench-tune:
 # The perf regression gate: compares the freshly generated kernel and
 # tune numbers against the committed baselines in bench/baseline,
 # failing on any tracked metric that regresses past 15%.
-benchdiff: bench-kernels bench-tune
+benchdiff: bench-kernels bench-tune bench-dist
 	$(GO) run ./cmd/benchdiff -fresh /tmp/keystone-bench
+
+# Flake sweep: the timing- and socket-sensitive suites (dist chaos
+# tests, tune deadlines) repeated under the race detector at both
+# scheduler widths. Any order/timing dependence shows up here long
+# before it flakes in CI.
+flake:
+	GOMAXPROCS=1 $(GO) test -race -count=5 ./keystone/dist/ ./keystone/tune/
+	GOMAXPROCS=4 $(GO) test -race -count=5 ./keystone/dist/ ./keystone/tune/
 
 # The HTTP inference server (trains text + vision pipelines at startup).
 serve:

@@ -47,6 +47,10 @@ var tracked = map[string][]metricSpec{
 	"BENCH_tune.json": {
 		{"shared_speedup", higherBetter},
 	},
+	"BENCH_dist.json": {
+		{"speedup", higherBetter},
+		{"recovery_overhead", lowerBetter},
+	},
 }
 
 func main() {

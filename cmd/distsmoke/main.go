@@ -149,6 +149,15 @@ func run() error {
 	}
 	log.Printf("%d test predictions bit-identical to the oracle", len(test.Records))
 
+	// Chaos leg: SIGKILL a worker process mid-fit (deterministically, at
+	// the 3rd apply frame headed to worker 0, via the fault plan's sever
+	// hook) and require the fit to complete through partition
+	// reassignment + lineage replay with predictions still bit-identical
+	// to the single-process oracle.
+	if err := chaosFit(bin, p, local, train, test); err != nil {
+		return fmt.Errorf("chaos leg: %w", err)
+	}
+
 	// Register the fitted artifact and ship its id to every replica.
 	reg, err := registry.Open(regDir)
 	if err != nil {
@@ -258,6 +267,103 @@ func run() error {
 	case <-exits[1]:
 	case <-time.After(10 * time.Second):
 		return fmt.Errorf("worker 1 did not exit on SIGINT")
+	}
+	return nil
+}
+
+// chaosFit boots a fresh pair of fit-only worker processes, arms a
+// fault plan that severs the 3rd apply frame headed to worker 0 and
+// SIGKILLs the process behind it, and requires the distributed fit to
+// complete anyway — reassigning the dead worker's partitions, replaying
+// their lineage on the survivor — with predictions bit-identical to the
+// single-process oracle.
+func chaosFit(bin string, p *keystone.Pipeline[string, []float64], local *keystone.Fitted[string, []float64], train, test keystone.Dataset[string]) error {
+	const nWorkers = 2
+	var wireAddrs []string
+	procs := make([]*exec.Cmd, 0, nWorkers)
+	exits := make([]chan error, 0, nWorkers)
+	defer func() {
+		for _, p := range procs {
+			p.Process.Kill() //nolint:errcheck // best-effort teardown
+		}
+	}()
+	for i := 0; i < nWorkers; i++ {
+		port, err := freePort()
+		if err != nil {
+			return err
+		}
+		wire := fmt.Sprintf("127.0.0.1:%d", port)
+		cmd := exec.Command(bin, "-listen", wire)
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("start chaos worker %d: %w", i, err)
+		}
+		exited := make(chan error, 1)
+		go func() { exited <- cmd.Wait() }()
+		procs = append(procs, cmd)
+		exits = append(exits, exited)
+		wireAddrs = append(wireAddrs, wire)
+	}
+	probe, err := dialCluster(wireAddrs, exits, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	probe.Close()
+
+	plan := dist.NewFaultPlan(dist.FaultRule{Op: "apply", Worker: 0, Nth: 3, Mode: dist.FaultSever})
+	plan.OnSever = func(i int) {
+		log.Printf("chaos: SIGKILL worker %d mid-fit", i)
+		procs[i].Process.Kill() //nolint:errcheck // the kill is the point
+	}
+	cl, err := dist.ConnectWith(dist.ClusterOptions{
+		Addrs:        wireAddrs,
+		OpTimeout:    30 * time.Second,
+		DialRetries:  2,
+		RetryBackoff: 100 * time.Millisecond,
+		Fault:        plan,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	log.Print("chaos: distributed fit with a mid-fit worker kill...")
+	distFit, rep, err := dist.Fit(context.Background(), cl, p, train.Records, train.Labels, dist.FitOptions{
+		Level:       keystone.LevelPipeline,
+		SampleSizes: [2]int{16, 32},
+		Partitions:  4,
+	})
+	if err != nil {
+		return fmt.Errorf("fit did not survive the kill: %w", err)
+	}
+	if ev := plan.Events(); len(ev) != 1 {
+		return fmt.Errorf("fault plan fired %d times, want 1", len(ev))
+	}
+	if rep.Recoveries < 1 {
+		return fmt.Errorf("fit reports no recovery after a kill: %+v", rep)
+	}
+	log.Printf("chaos: fit survived the kill (%d recoveries, %d partition replays, train %v)",
+		rep.Recoveries, rep.ReplayedPartitions, rep.TrainTime.Round(time.Millisecond))
+	for i, doc := range test.Records {
+		want, err := local.Transform(context.Background(), doc)
+		if err != nil {
+			return err
+		}
+		got, err := distFit.Transform(context.Background(), doc)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("doc %d: post-recovery prediction %v != oracle %v", i, got, want)
+		}
+	}
+	log.Printf("chaos: %d predictions bit-identical to the oracle after recovery", len(test.Records))
+
+	procs[1].Process.Signal(os.Interrupt) //nolint:errcheck // fallback kill in the defer
+	select {
+	case <-exits[1]:
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("chaos survivor did not exit on SIGINT")
 	}
 	return nil
 }

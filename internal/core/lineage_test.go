@@ -1,0 +1,105 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// buildLineage records the shape recovery most often replays: a root, a
+// retained apply, a dropped temp, and a zip of two live datasets.
+//
+//	src ─op1→ t1(dropped) ─op2→ n5(live)
+//	src ─op3→ n7(live)
+//	zip(n5, n7) → n9(live)
+func buildLineage() *Lineage {
+	l := NewLineage()
+	l.Root("src")
+	l.Apply("t1", "src", "op1", []byte{1})
+	l.Apply("n5", "t1", "op2", []byte{2})
+	l.Drop("t1")
+	l.Apply("n7", "src", "op3", []byte{3})
+	l.Zip("n9", "n5", "n7")
+	return l
+}
+
+func TestLineageReplayOrder(t *testing.T) {
+	l := buildLineage()
+
+	order, err := l.ReplayOrder(l.Live())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(order))
+	pos := make(map[string]int, len(order))
+	for i, n := range order {
+		names[i] = n.Name
+		pos[n.Name] = i
+	}
+	// Exactly the closure, each node once, parents before children.
+	want := []string{"src", "t1", "n5", "n7", "n9"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("replay order = %v, want %v", names, want)
+	}
+	for _, n := range order {
+		for _, p := range n.Parents {
+			if pos[p] >= pos[n.Name] {
+				t.Fatalf("parent %q ordered at %d, after child %q at %d", p, pos[p], n.Name, pos[n.Name])
+			}
+		}
+	}
+	// The dropped temp is in the program but not live.
+	for _, n := range order {
+		if n.Name == "t1" && n.Live {
+			t.Fatal("dropped t1 still marked live in replay order")
+		}
+		if n.Name == "n5" && (n.OpKind != "op2" || !reflect.DeepEqual(n.OpState, []byte{2})) {
+			t.Fatalf("n5 op = (%q, %v), want (op2, [2])", n.OpKind, n.OpState)
+		}
+	}
+}
+
+func TestLineageLive(t *testing.T) {
+	l := buildLineage()
+	if got, want := l.Live(), []string{"src", "n5", "n7", "n9"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("live = %v, want %v", got, want)
+	}
+	l.Drop("n9")
+	if got, want := l.Live(), []string{"src", "n5", "n7"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("live after drop = %v, want %v", got, want)
+	}
+}
+
+func TestLineageScopedReplay(t *testing.T) {
+	l := buildLineage()
+	// Replaying just n7 must not pull in the n5 branch.
+	order, err := l.ReplayOrder([]string{"n7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(order))
+	for i, n := range order {
+		names[i] = n.Name
+	}
+	if want := []string{"src", "n7"}; !reflect.DeepEqual(names, want) {
+		t.Fatalf("scoped replay = %v, want %v", names, want)
+	}
+}
+
+func TestLineageErrors(t *testing.T) {
+	l := NewLineage()
+	if _, err := l.ReplayOrder([]string{"ghost"}); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	// A child whose parent was never recorded is a broken chain.
+	l.Apply("b", "a", "op", nil)
+	if _, err := l.ReplayOrder([]string{"b"}); err == nil {
+		t.Fatal("missing parent accepted")
+	}
+	// Node lookups.
+	if _, ok := l.Node("a"); ok {
+		t.Fatal("found lineage for unrecorded dataset")
+	}
+	if n, ok := l.Node("b"); !ok || n.Kind != LineageApply {
+		t.Fatalf("Node(b) = %+v, %v", n, ok)
+	}
+}

@@ -44,11 +44,23 @@ type distBench struct {
 	Rows        []distBenchRow `json:"rows"`
 	Speedup     float64        `json:"speedup"`
 	RankMatches bool           `json:"simulator_rank_matches"`
+	// RecoveryOverhead is the wall-clock cost of fault tolerance: a
+	// 2-worker fit with one worker killed mid-fit (recovered via
+	// reassignment + lineage replay) over the clean 2-worker fit.
+	// 1.0 would be free recovery; benchdiff gates regressions (lower is
+	// better).
+	RecoveredTrainSec  float64 `json:"recovered_train_sec"`
+	RecoveryOverhead   float64 `json:"recovery_overhead"`
+	Recoveries         int     `json:"recoveries"`
+	ReplayedPartitions int     `json:"replayed_partitions"`
 }
 
 // distFitAt runs one distributed fit over n in-process workers (real TCP
 // loopback wire, per-worker parallelism 1) and returns the fit report.
-func distFitAt(n int, records []([]float64), labels [][]float64, partitions, iters int) (*dist.Report, error) {
+// A non-nil fault plan is armed on the coordinator with tight failure
+// timeouts, and its default sever hook kills the target worker — the
+// recovery-overhead leg.
+func distFitAt(n int, records []([]float64), labels [][]float64, partitions, iters int, plan *dist.FaultPlan) (*dist.Report, error) {
 	workers := make([]*dist.Worker, n)
 	addrs := make([]string, n)
 	for i := range workers {
@@ -60,7 +72,17 @@ func distFitAt(n int, records []([]float64), labels [][]float64, partitions, ite
 		workers[i] = w
 		addrs[i] = w.Addr()
 	}
-	cl, err := dist.Connect(addrs...)
+	opts := dist.ClusterOptions{Addrs: addrs}
+	if plan != nil {
+		if plan.OnSever == nil {
+			plan.OnSever = func(i int) { workers[i].Close() }
+		}
+		opts.Fault = plan
+		opts.OpTimeout = 5 * time.Second
+		opts.DialRetries = 1
+		opts.RetryBackoff = 20 * time.Millisecond
+	}
+	cl, err := dist.ConnectWith(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +129,7 @@ func DistFit(w io.Writer, scale Scale) {
 	var trains []float64
 	var modeled []float64
 	for _, n := range []int{1, 2} {
-		rep, err := distFitAt(n, recs, labels, partitions, iters)
+		rep, err := distFitAt(n, recs, labels, partitions, iters, nil)
 		if err != nil {
 			fmt.Fprintf(w, "dist fit at %d workers: %v\n", n, err)
 			return
@@ -131,5 +153,22 @@ func DistFit(w io.Writer, scale Scale) {
 		verdict = "DISAGREES WITH"
 	}
 	fmt.Fprintf(w, "\nmeasured speedup %.2fx; simulator ranking %s measured ordering\n", bench.Speedup, verdict)
+
+	// Recovery leg: the same 2-worker fit, but worker 0 is killed at its
+	// 2nd apply frame. The fit must complete through reassignment +
+	// lineage replay; the overhead ratio vs the clean 2-worker fit is
+	// what benchdiff gates.
+	plan := dist.NewFaultPlan(dist.FaultRule{Op: "apply", Worker: 0, Nth: 2, Mode: dist.FaultSever})
+	rep, err := distFitAt(2, recs, labels, partitions, iters, plan)
+	if err != nil {
+		fmt.Fprintf(w, "recovery fit: %v\n", err)
+		return
+	}
+	bench.RecoveredTrainSec = rep.TrainTime.Seconds()
+	bench.RecoveryOverhead = bench.RecoveredTrainSec / trains[1]
+	bench.Recoveries = rep.Recoveries
+	bench.ReplayedPartitions = rep.ReplayedPartitions
+	fmt.Fprintf(w, "recovery: worker killed mid-fit, %d recovery, %d partition replays, train %.3fs (%.2fx clean)\n",
+		rep.Recoveries, rep.ReplayedPartitions, bench.RecoveredTrainSec, bench.RecoveryOverhead)
 	emitBench("dist", bench)
 }

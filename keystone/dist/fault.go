@@ -1,0 +1,186 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FaultMode selects what happens to a matched wire frame.
+type FaultMode int
+
+// The three injectable failures, in increasing severity: a delay (the
+// frame is sent late — slow network or a GC-paused worker), a drop (the
+// frame is never sent and the call times out — a lost packet the
+// bounded-retry layer should absorb by redialing), and a sever (the
+// connection is torn down mid-conversation and, via OnSever, the worker
+// itself can be killed — the full lineage-recovery path).
+const (
+	FaultDelay FaultMode = iota + 1
+	FaultDrop
+	FaultSever
+)
+
+// String names the mode for events and errors.
+func (m FaultMode) String() string {
+	switch m {
+	case FaultDelay:
+		return "delay"
+	case FaultDrop:
+		return "drop"
+	case FaultSever:
+		return "sever"
+	default:
+		return fmt.Sprintf("fault(%d)", int(m))
+	}
+}
+
+// FaultRule arms one injection: the Nth frame of the given op kind sent
+// to the given worker triggers Mode. Each rule fires exactly once.
+type FaultRule struct {
+	// Op is the wire op kind the rule watches ("apply", "load", "fetch",
+	// ...); empty matches every op.
+	Op string
+	// Worker is the coordinator-side worker index the rule watches; -1
+	// matches any worker. Rules with a concrete Worker are fully
+	// deterministic (frames to one worker are serialized); Worker == -1
+	// rules count frames across concurrently dispatched workers, so
+	// which worker trips them can vary run to run.
+	Worker int
+	// Nth is the 1-based count of matching frames that triggers the
+	// rule (0 is treated as 1).
+	Nth int
+	// Mode is what happens to the matched frame.
+	Mode FaultMode
+	// Delay is the injected latency for FaultDelay.
+	Delay time.Duration
+}
+
+// FaultEvent records one fired injection, in firing order — the replay
+// log: two runs with the same plan over the same call sequence produce
+// the same events.
+type FaultEvent struct {
+	Rule   int    // index into the plan's rules
+	Op     string // wire op of the matched frame
+	Worker int    // worker the frame was headed to
+	Frame  int    // per-(op, worker) frame ordinal that tripped the rule
+	Mode   FaultMode
+}
+
+// FaultPlan is a deterministic fault-injection layer over the
+// coordinator's wire transport: it watches every frame the Cluster
+// sends, counts them per (op kind, worker), and fires the armed rules at
+// exact frame ordinals. It is public test infrastructure — the chaos
+// suite, the dist-smoke chaos leg, and the recovery benchmark all drive
+// worker failure through it — and is inert when no rules are armed
+// (counting only, so a plan can first map a fit's injection points and
+// then be re-armed to hit each one).
+//
+// Attach a plan via ClusterOptions.Fault. Injection happens before the
+// frame is written, inside the per-call retry loop, so a dropped frame
+// exercises redial-and-resend and a severed frame exercises
+// worker-death detection and lineage recovery.
+type FaultPlan struct {
+	// OnSever, when non-nil, is called (once, synchronously) with the
+	// worker index each time a sever fires — the hook tests use to kill
+	// the worker itself, turning a torn connection into real partition
+	// loss. A nil OnSever severs only the connection: the worker
+	// survives and the redial path re-admits it with its data intact.
+	OnSever func(worker int)
+
+	mu     sync.Mutex
+	rules  []FaultRule
+	fired  []bool
+	counts map[frameKey]int
+	events []FaultEvent
+}
+
+type frameKey struct {
+	op     string
+	worker int // -1 aggregates across workers (for Worker == -1 rules)
+}
+
+// NewFaultPlan arms a plan with the given rules. An empty rule set is a
+// pure frame counter.
+func NewFaultPlan(rules ...FaultRule) *FaultPlan {
+	return &FaultPlan{
+		rules:  rules,
+		fired:  make([]bool, len(rules)),
+		counts: make(map[frameKey]int),
+	}
+}
+
+// faultAction is what the transport should do to the current frame.
+type faultAction struct {
+	mode  FaultMode // 0 = pass through
+	delay time.Duration
+}
+
+// observe counts one outgoing frame and returns the action of the first
+// unfired rule it trips.
+func (p *FaultPlan) observe(worker int, op string) faultAction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Four counters per frame: (op, worker) exact, plus the any-worker
+	// and any-op aggregations rules may be keyed on.
+	p.counts[frameKey{op, worker}]++
+	p.counts[frameKey{op, -1}]++
+	p.counts[frameKey{"", worker}]++
+	p.counts[frameKey{"", -1}]++
+	for i, r := range p.rules {
+		if p.fired[i] {
+			continue
+		}
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		if r.Worker >= 0 && r.Worker != worker {
+			continue
+		}
+		nth := r.Nth
+		if nth <= 0 {
+			nth = 1
+		}
+		if p.counts[frameKey{r.Op, r.Worker}] != nth {
+			continue
+		}
+		p.fired[i] = true
+		p.events = append(p.events, FaultEvent{
+			Rule: i, Op: op, Worker: worker, Frame: nth, Mode: r.Mode,
+		})
+		return faultAction{mode: r.Mode, delay: r.Delay}
+	}
+	return faultAction{}
+}
+
+// FrameCount returns how many frames of op kind op have been sent to
+// worker (use worker -1 for the all-workers total, op "" for the
+// all-ops total).
+func (p *FaultPlan) FrameCount(op string, worker int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts[frameKey{op, worker}]
+}
+
+// Events returns the fired injections in firing order.
+func (p *FaultPlan) Events() []FaultEvent {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]FaultEvent(nil), p.events...)
+}
+
+// faultDropError is the synthetic transport error a dropped frame
+// surfaces: the coordinator treats it exactly like a send that vanished
+// into the network (retry, then declare the worker dead).
+type faultDropError struct {
+	op     string
+	worker int
+}
+
+func (e *faultDropError) Error() string {
+	return fmt.Sprintf("dist: fault injection dropped %s frame to worker %d", e.op, e.worker)
+}
+
+// Timeout marks the drop as a deadline-style failure, matching what a
+// real lost frame looks like through a per-call deadline.
+func (e *faultDropError) Timeout() bool { return true }

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -58,6 +59,14 @@ type Report struct {
 	// CacheSet lists the operators whose outputs stayed resident on the
 	// workers between passes.
 	CacheSet []string
+	// Recoveries counts worker deaths the fit survived: each one
+	// reassigned the dead worker's partitions and replayed their lineage
+	// on the survivors. Zero on a clean run.
+	Recoveries int
+	// ReplayedPartitions counts (dataset, partition) pairs rebuilt by
+	// lineage replay across all recoveries — the recomputed work that
+	// would have aborted the fit before fault tolerance.
+	ReplayedPartitions int
 }
 
 // Fit trains pipeline p data-parallel across the cluster's workers and
@@ -73,6 +82,18 @@ type Report struct {
 // materialization choices with the distributed makespan model — network
 // transfer and stage-launch terms from opts.Resources — so what the
 // workers cache is decided by off-box economics, not local ones.
+//
+// Fit survives worker failure. Every remote dispatch records lineage —
+// the chain of (op kind, state) applications that produced each
+// distributed dataset from the coordinator-held input partitions — and
+// when a worker's per-call deadline expires or its connection tears past
+// the redial budget, the coordinator declares it dead, reassigns its
+// partitions round-robin over the survivors, and replays exactly the
+// lost partitions' chains onto their new owners before retrying the
+// interrupted op. Because every recorded op is deterministic and
+// partition-local, the recovered fit is bit-identical to the no-failure
+// run; the fit only aborts when no live workers remain. Report.Recoveries
+// says how many deaths a fit absorbed.
 func Fit[I, O any](ctx context.Context, cl *Cluster, p *keystone.Pipeline[I, O], records []I, labels [][]float64, opts FitOptions) (fitted *keystone.Fitted[I, O], rep *Report, err error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -172,13 +193,16 @@ func Fit[I, O any](ctx context.Context, cl *Cluster, p *keystone.Pipeline[I, O],
 		models:  make(map[int]core.TransformOp),
 		names:   make(map[int]string),
 		fetched: make(map[int]*engine.Collection),
+		lin:     core.NewLineage(),
+		data:    data,
+		dirty:   make(map[int]bool),
 	}
 	for _, id := range plan.CacheSet {
 		run.cached[id] = true
 	}
 	defer run.freeAll()
 
-	if err := cl.Load(run.sourceName(), data); err != nil {
+	if err := run.loadSource(); err != nil {
 		return nil, nil, fmt.Errorf("dist: load training data: %w", err)
 	}
 	// Demand the sink: transforms and gathers execute remotely, estimator
@@ -197,10 +221,12 @@ func Fit[I, O any](ctx context.Context, cl *Cluster, p *keystone.Pipeline[I, O],
 		Chosen:       make(map[string]string, len(plan.Chosen)),
 	}
 	rep = &Report{
-		Workers:      workers,
-		Partitions:   parts,
-		OptimizeTime: plan.OptimizeTime,
-		TrainTime:    info.TrainTime,
+		Workers:            workers,
+		Partitions:         parts,
+		OptimizeTime:       plan.OptimizeTime,
+		TrainTime:          info.TrainTime,
+		Recoveries:         run.recoveries,
+		ReplayedPartitions: run.replayedParts,
 	}
 	if plan.Schedule != nil {
 		rep.ModeledMakespan = plan.Schedule.Makespan()
@@ -280,6 +306,16 @@ type fitRun struct {
 	fetched map[int]*engine.Collection // coordinator-side fetch memo for cached nodes
 	tmpSeq  int
 	temps   map[string]bool // live temp names, for cleanup on abort
+
+	// Fault-tolerance state: the recorded derivation of every dataset
+	// this run created, the coordinator's copy of the root partitions
+	// (reloaded on demand during replay), and the global partitions lost
+	// to a death but not yet rebuilt on their new owners.
+	lin           *core.Lineage
+	data          *engine.Collection
+	dirty         map[int]bool
+	recoveries    int
+	replayedParts int
 }
 
 func (r *fitRun) sourceName() string { return fmt.Sprintf("n%d", r.g.Source.ID) }
@@ -295,12 +331,14 @@ func (r *fitRun) tempName() string {
 }
 
 // release frees a temp dataset after its one use; retained datasets stay
-// resident for later demands.
+// resident for later demands. The lineage node is only marked dropped,
+// not deleted: live descendants still replay through it.
 func (r *fitRun) release(name string, temp bool) {
 	if !temp {
 		return
 	}
 	delete(r.temps, name)
+	r.lin.Drop(name)
 	r.cl.Free(name) //nolint:errcheck // best-effort: a failed free only leaks worker memory
 }
 
@@ -359,7 +397,7 @@ func (r *fitRun) compute(n *core.Node, out string) error {
 		if err != nil {
 			return err
 		}
-		err = r.cl.Apply(out, in, n.Transform)
+		err = r.applyOp(out, in, n.Transform)
 		r.release(in, temp)
 		return err
 	case core.KindGather:
@@ -373,7 +411,7 @@ func (r *fitRun) compute(n *core.Node, out string) error {
 		if err != nil {
 			return err
 		}
-		err = r.cl.Apply(out, in, model)
+		err = r.applyOp(out, in, model)
 		r.release(in, temp)
 		return err
 	default:
@@ -390,7 +428,7 @@ func (r *fitRun) gather(n *core.Node, out string) error {
 		return err
 	}
 	if len(n.Deps) == 1 {
-		err = r.cl.Alias(out, acc)
+		err = r.aliasOp(out, acc)
 		r.release(acc, accTemp)
 		return err
 	}
@@ -405,7 +443,7 @@ func (r *fitRun) gather(n *core.Node, out string) error {
 		if intermediate {
 			dst = r.tempName()
 		}
-		err = r.cl.Zip(dst, acc, b)
+		err = r.zipOp(dst, acc, b)
 		r.release(acc, accTemp)
 		r.release(b, bTemp)
 		if err != nil {
@@ -436,7 +474,7 @@ func (r *fitRun) fit(n *core.Node) (core.TransformOp, error) {
 		if err != nil {
 			panic(distAbort{err})
 		}
-		coll, err := r.cl.Fetch(name)
+		coll, err := r.fetchOp(name)
 		r.release(name, temp)
 		if err != nil {
 			panic(distAbort{err})
@@ -460,4 +498,202 @@ func (r *fitRun) fit(n *core.Node) (core.TransformOp, error) {
 	model := n.Estimator.Fit(r.ectx, dataFetch, labelsFetch)
 	r.models[n.ID] = model
 	return model, nil
+}
+
+// --- fault tolerance ---------------------------------------------------
+//
+// Every remote dispatch below records its lineage before touching the
+// wire and runs inside retrying, which absorbs worker deaths: the dead
+// worker's partitions are reassigned, their lineage replayed onto the
+// new owners, and the interrupted op re-broadcast. Unscoped ops are
+// idempotent (they replace their output wholesale per worker), so the
+// retried op never needs partial-progress bookkeeping — only the other
+// live datasets do, and those are exactly what the replay rebuilds.
+
+// loadSource ships the training data under the source node's name and
+// records it as the lineage root the whole fit replays from.
+func (r *fitRun) loadSource() error {
+	name := r.sourceName()
+	r.lin.Root(name)
+	return r.retrying(name, func() error { return r.cl.Load(name, r.data) })
+}
+
+// applyOp records and dispatches one operator application. The operator
+// is encoded once; the same bytes serve the wire and the lineage record,
+// so a replay re-runs bit-identically what the original dispatch ran.
+func (r *fitRun) applyOp(dst, src string, op core.TransformOp) error {
+	kind, state, err := core.EncodeOp(op)
+	if err != nil {
+		return fmt.Errorf("dist: operator %q not shippable: %w", op.Name(), err)
+	}
+	r.lin.Apply(dst, src, kind, state)
+	return r.retrying(dst, func() error { return r.cl.ApplyEncoded(dst, src, kind, state) })
+}
+
+// zipOp records and dispatches one gather-join.
+func (r *fitRun) zipOp(dst, a, b string) error {
+	r.lin.Zip(dst, a, b)
+	return r.retrying(dst, func() error { return r.cl.Zip(dst, a, b) })
+}
+
+// aliasOp records and dispatches one single-branch gather.
+func (r *fitRun) aliasOp(dst, src string) error {
+	r.lin.Alias(dst, src)
+	return r.retrying(dst, func() error { return r.cl.Alias(dst, src) })
+}
+
+// fetchOp pulls a dataset back to the coordinator under the same
+// recovery loop as the dispatches: a worker dying mid-fetch triggers
+// replay of the lost partitions (the fetched dataset included) before
+// the fetch is retried.
+func (r *fitRun) fetchOp(name string) (*engine.Collection, error) {
+	var coll *engine.Collection
+	err := r.retrying("", func() error {
+		var err error
+		coll, err = r.cl.Fetch(name)
+		return err
+	})
+	return coll, err
+}
+
+// retrying runs one remote op under the recovery loop: before every
+// attempt it drains newly detected worker deaths (reassigning and
+// replaying their partitions), and a *WorkerFailure from the op itself
+// buys another round. skip names the dataset the op produces — excluded
+// from replay because the retried op recomputes it wholesale (nothing
+// derives from it yet). Application-level errors return immediately.
+func (r *fitRun) retrying(skip string, op func() error) error {
+	attempts := r.cl.Workers() + 1
+	var err error
+	for a := 0; a < attempts; a++ {
+		if err = checkCtx(r.ctx); err != nil {
+			return err
+		}
+		if err = r.drainFailures(skip); err != nil {
+			return err
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+		var wf *WorkerFailure
+		if !errors.As(err, &wf) {
+			return err
+		}
+	}
+	return err
+}
+
+// drainFailures is the recovery procedure. For every worker declared
+// dead since the last drain: reassign its partitions round-robin over
+// the survivors and mark them dirty; then rebuild all dirty partitions
+// of every live dataset (minus skip) by lineage replay. It loops because
+// a survivor can die mid-replay — its partitions join the dirty set and
+// the next round replays onto the shrunken cluster — and converges or
+// runs out of workers within Workers+2 rounds.
+func (r *fitRun) drainFailures(skip string) error {
+	maxRounds := r.cl.Workers() + 2
+	for round := 0; round < maxRounds; round++ {
+		dead := r.cl.TakeFailed()
+		if len(dead) == 0 && len(r.dirty) == 0 {
+			return nil
+		}
+		for _, w := range dead {
+			moved, err := r.cl.Reassign(w)
+			if err != nil {
+				return err
+			}
+			for _, parts := range moved {
+				for _, p := range parts {
+					r.dirty[p] = true
+				}
+			}
+			r.recoveries++
+		}
+		if len(r.dirty) == 0 {
+			continue
+		}
+		if err := r.replay(skip); err != nil {
+			var wf *WorkerFailure
+			if errors.As(err, &wf) {
+				continue // death mid-replay: next round reassigns and replays again
+			}
+			return err
+		}
+		r.dirty = make(map[int]bool)
+	}
+	return fmt.Errorf("dist: recovery did not converge after %d rounds", maxRounds)
+}
+
+// replay rebuilds the dirty partitions of every live dataset except skip
+// on their (new) owners, walking the recorded lineage root-to-leaf:
+// roots reload from the coordinator's copy of the training partitions,
+// everything else re-applies the exact encoded ops that built it. All
+// scoped ops merge, so survivors' partitions are never touched and a
+// half-finished replay can simply run again. Dropped intermediates are
+// recreated as scratch and freed afterwards.
+func (r *fitRun) replay(skip string) error {
+	var targets []string
+	for _, name := range r.lin.Live() {
+		if name != skip {
+			targets = append(targets, name)
+		}
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	order, err := r.lin.ReplayOrder(targets)
+	if err != nil {
+		return err
+	}
+	owners := r.cl.Owners()
+	byOwner := make(map[int][]int)
+	for p := range r.dirty {
+		if p >= len(owners) {
+			return fmt.Errorf("dist: dirty partition %d outside owners table (%d partitions)", p, len(owners))
+		}
+		byOwner[owners[p]] = append(byOwner[owners[p]], p)
+	}
+	workers := make([]int, 0, len(byOwner))
+	for w := range byOwner {
+		sort.Ints(byOwner[w])
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+
+	var scratch []string
+	defer func() {
+		if len(scratch) > 0 {
+			r.cl.Free(scratch...) //nolint:errcheck // best-effort scratch cleanup
+		}
+	}()
+	for _, node := range order {
+		if !node.Live {
+			scratch = append(scratch, node.Name)
+		}
+		for _, w := range workers {
+			parts := byOwner[w]
+			var err error
+			switch node.Kind {
+			case core.LineageRoot:
+				payload := make([]partition, len(parts))
+				for i, p := range parts {
+					payload[i] = partition{Index: p, Records: r.data.Partition(p)}
+				}
+				err = r.cl.LoadParts(w, node.Name, payload)
+			case core.LineageApply:
+				err = r.cl.ApplyParts(w, node.Name, node.Parents[0], node.OpKind, node.OpState, parts)
+			case core.LineageZip:
+				err = r.cl.ZipParts(w, node.Name, node.Parents[0], node.Parents[1], parts)
+			case core.LineageAlias:
+				err = r.cl.AliasParts(w, node.Name, node.Parents[0], parts)
+			default:
+				err = fmt.Errorf("dist: cannot replay %s lineage node %q", node.Kind, node.Name)
+			}
+			if err != nil {
+				return err
+			}
+			r.replayedParts += len(parts)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringRouter builds a router over fake replica addresses with the health
+// loop disabled — pick() never dials, so ring properties are testable
+// without sockets.
+func ringRouter(t *testing.T, n int) *Router {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("http://10.0.0.%d:7000", i+1)
+	}
+	rt, err := NewRouter(RouterOptions{Replicas: addrs, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// TestRingRemovalRemapsOneNth is the consistent-hashing contract: when 1
+// of N replicas goes down, ONLY the keys it owned move (to survivors),
+// and that is roughly 1/N of the keyspace — not a full reshuffle.
+func TestRingRemovalRemapsOneNth(t *testing.T) {
+	const n, keys = 5, 10000
+	rt := ringRouter(t, n)
+
+	before := make([]string, keys)
+	for k := 0; k < keys; k++ {
+		rep, _ := rt.pick([]byte(fmt.Sprintf("entity-%d", k)))
+		before[k] = rep.addr
+	}
+
+	removed := rt.replicas[2]
+	removed.up.Store(false)
+
+	moved := 0
+	for k := 0; k < keys; k++ {
+		rep, _ := rt.pick([]byte(fmt.Sprintf("entity-%d", k)))
+		if before[k] == removed.addr {
+			moved++
+			if rep.addr == removed.addr {
+				t.Fatalf("key %d still routed to the removed replica", k)
+			}
+			continue
+		}
+		if rep.addr != before[k] {
+			t.Fatalf("key %d moved from %s to %s though its replica survived", k, before[k], rep.addr)
+		}
+	}
+
+	// The removed replica's share should be about 1/N; with 64 vnodes the
+	// spread is loose but a full reshuffle (share ~1) or a dead replica
+	// (share ~0) is way outside these bounds.
+	frac := float64(moved) / keys
+	if frac < 0.5/n || frac > 2.0/n {
+		t.Fatalf("removing 1 of %d replicas remapped %.1f%% of keys, want ~%.1f%%", n, 100*frac, 100.0/n)
+	}
+	t.Logf("removal remapped %d/%d keys (%.1f%%, ideal %.1f%%)", moved, keys, 100*frac, 100.0/n)
+}
+
+// TestRingAffinityStableAcrossRestart: the ring is a pure function of
+// the replica address list, so a restarted router (same replicas, fresh
+// process state) routes every key to the same replica — affinity
+// survives coordinator restarts without any persisted state.
+func TestRingAffinityStableAcrossRestart(t *testing.T) {
+	const n, keys = 4, 5000
+	a := ringRouter(t, n)
+	b := ringRouter(t, n) // the "restarted" router: same addrs, fresh state
+	for k := 0; k < keys; k++ {
+		key := []byte(fmt.Sprintf("user:%d", k))
+		ra, _ := a.pick(key)
+		rb, _ := b.pick(key)
+		if ra.addr != rb.addr {
+			t.Fatalf("key %q routed to %s before restart, %s after", key, ra.addr, rb.addr)
+		}
+	}
+}
+
+// TestRingRejoinRestoresAffinity: a replica that goes down and comes
+// back reclaims exactly its old keyspace — spillover during the outage
+// does not permanently steal affinity.
+func TestRingRejoinRestoresAffinity(t *testing.T) {
+	const n, keys = 3, 3000
+	rt := ringRouter(t, n)
+	before := make([]string, keys)
+	for k := 0; k < keys; k++ {
+		rep, _ := rt.pick([]byte(fmt.Sprintf("k%d", k)))
+		before[k] = rep.addr
+	}
+	rt.replicas[0].up.Store(false)
+	rt.replicas[0].up.Store(true)
+	for k := 0; k < keys; k++ {
+		rep, _ := rt.pick([]byte(fmt.Sprintf("k%d", k)))
+		if rep.addr != before[k] {
+			t.Fatalf("key %d owned by %s before the outage, %s after rejoin", k, before[k], rep.addr)
+		}
+	}
+}
+
+// TestRingSpreadAcrossReplicas: vnode placement must not starve any
+// replica — every replica owns a non-trivial share of the keyspace.
+func TestRingSpreadAcrossReplicas(t *testing.T) {
+	const n, keys = 4, 8000
+	rt := ringRouter(t, n)
+	counts := make(map[string]int)
+	for k := 0; k < keys; k++ {
+		rep, _ := rt.pick([]byte(fmt.Sprintf("doc/%d", k)))
+		counts[rep.addr]++
+	}
+	if len(counts) != n {
+		t.Fatalf("only %d of %d replicas own keys: %v", len(counts), n, counts)
+	}
+	// 64 vnodes per replica leaves real variance in shares; the property
+	// guarded here is no starvation, not perfect balance.
+	for addr, c := range counts {
+		share := float64(c) / keys
+		if share < 0.2/n {
+			t.Fatalf("replica %s owns only %.1f%% of keys (ideal %.1f%%): %v", addr, 100*share, 100.0/n, counts)
+		}
+	}
+}

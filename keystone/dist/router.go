@@ -50,9 +50,20 @@ type Router struct {
 	ring     []ringSlot // sorted by hash
 	client   *http.Client
 
+	mu      sync.Mutex
+	tracked map[string]trackedRoute // route -> live artifact, for rejoin redeploys
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
+}
+
+// trackedRoute is the router's record of what a route currently serves:
+// the serve kind (so an empty, restarted replica can bootstrap-register
+// the route) and the live artifact reference.
+type trackedRoute struct {
+	kind string
+	ref  string
 }
 
 type replica struct {
@@ -79,9 +90,10 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
 	rt := &Router{
-		client: client,
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		client:  client,
+		tracked: make(map[string]trackedRoute),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	for i, addr := range opts.Replicas {
 		rep := &replica{addr: addr}
@@ -215,7 +227,10 @@ func relay(w http.ResponseWriter, resp *http.Response) {
 }
 
 // healthLoop probes every replica's /healthz and flips health marks both
-// ways: a down replica that answers again rejoins the ring.
+// ways: a down replica that answers again rejoins the ring — after the
+// router re-ships it every tracked route's live artifact, so a replica
+// that restarted empty (a fresh process with no routes) comes back
+// serving, not 404ing its keyspace.
 func (rt *Router) healthLoop(interval time.Duration) {
 	defer close(rt.done)
 	t := time.NewTicker(interval)
@@ -233,17 +248,78 @@ func (rt *Router) healthLoop(interval time.Duration) {
 				io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining
 				resp.Body.Close()
 			}
+			if ok && !rep.up.Load() {
+				// Down -> up transition: redeploy before readmitting, so
+				// the ring never routes to a replica missing its routes.
+				rt.redeploy(rep)
+			}
 			rep.up.Store(ok)
 		}
+	}
+}
+
+// TrackRoute records what a route is currently serving so the health
+// loop can re-ship it to replicas that rejoin after a restart. Callers
+// that deploy via Cluster.ServeRoute track the same (kind, ref) here;
+// DeployAll keeps the reference current afterwards.
+func (rt *Router) TrackRoute(route, kind, ref string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.tracked[route] = trackedRoute{kind: kind, ref: ref}
+}
+
+// trackedSnapshot copies the tracked-route table.
+func (rt *Router) trackedSnapshot() map[string]trackedRoute {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make(map[string]trackedRoute, len(rt.tracked))
+	for k, v := range rt.tracked {
+		out[k] = v
+	}
+	return out
+}
+
+// redeploy posts every tracked route's live artifact to one replica —
+// the rejoin path. The payload carries the serve kind, which registered
+// routes ignore and empty (restarted) replicas use to bootstrap-register
+// the route from the artifact. Best-effort: a failed redeploy leaves the
+// replica serving whatever it has; the next predict either works or
+// marks it down again.
+func (rt *Router) redeploy(rep *replica) {
+	for route, tr := range rt.trackedSnapshot() {
+		body, err := json.Marshal(map[string]string{"artifact": tr.ref, "kind": tr.kind})
+		if err != nil {
+			continue
+		}
+		resp, err := rt.client.Post(rep.addr+"/routes/"+route+"/deploy", "application/json", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining
+		resp.Body.Close()
 	}
 }
 
 // DeployAll posts one registry artifact reference to every live
 // replica's deploy endpoint, the sharded equivalent of a single server's
 // versioned hot swap: after it returns nil, every live replica serves
-// the same artifact id.
+// the same artifact id. A tracked route's record is updated, so later
+// rejoin redeploys ship the new artifact, not the one first tracked.
 func (rt *Router) DeployAll(ctx context.Context, route, ref string) error {
-	return rt.postAll(ctx, "/routes/"+route+"/deploy", map[string]any{"artifact": ref})
+	payload := map[string]any{"artifact": ref}
+	rt.mu.Lock()
+	tr, tracked := rt.tracked[route]
+	rt.mu.Unlock()
+	if tracked {
+		payload["kind"] = tr.kind
+	}
+	if err := rt.postAll(ctx, "/routes/"+route+"/deploy", payload); err != nil {
+		return err
+	}
+	if tracked {
+		rt.TrackRoute(route, tr.kind, ref)
+	}
+	return nil
 }
 
 // PushRollout propagates shared rollout state — canary fraction,

@@ -27,6 +27,7 @@ package dist
 import (
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 
@@ -37,6 +38,22 @@ import (
 // one frame, so the cap is generous; it exists to fail fast on a
 // corrupt length prefix, not to limit payloads).
 const maxFrame = 1 << 30
+
+// Typed frame-decoding failures. Every malformed input readFrame can
+// meet maps onto one of these (via errors.Is), so callers distinguish
+// protocol damage from ordinary I/O without string matching — and the
+// decoder never panics or allocates past the cap on garbage input.
+var (
+	// ErrFrameTooLarge: the length prefix exceeds the 1 GiB cap —
+	// almost always a corrupt or misaligned prefix, not a real payload.
+	ErrFrameTooLarge = errors.New("dist: frame length exceeds 1 GiB cap")
+	// ErrFrameTruncated: the stream ended inside a frame (torn header
+	// or payload shorter than its prefix).
+	ErrFrameTruncated = errors.New("dist: truncated frame")
+	// ErrFrameCorrupt: the payload arrived whole but is not a valid gob
+	// message for the expected type.
+	ErrFrameCorrupt = errors.New("dist: corrupt frame payload")
+)
 
 // Wire operation names (request.Op).
 const (
@@ -73,6 +90,15 @@ type request struct {
 	Route   string      // serve: route name
 	Kind    string      // serve: registered codec kind
 	Ref     string      // serve: registry artifact id/tag/prefix
+	// Only restricts apply/zip/alias to these global partition indices
+	// of the source dataset(s), and switches the result from
+	// replace-dataset to merge-partitions semantics — the lineage-replay
+	// mode: recovery rebuilds exactly the lost partitions on their new
+	// owners without touching the survivors' work. For load it marks the
+	// shipped partitions as a merge instead of a wholesale replacement.
+	// Nil (the fast path) means "every partition this worker holds",
+	// replacing dst.
+	Only []int
 }
 
 // response is the worker→coordinator message.
@@ -103,22 +129,27 @@ func writeFrame(w io.Writer, v any) error {
 	return err
 }
 
-// readFrame reads one length-prefixed frame into v.
+// readFrame reads one length-prefixed frame into v. A clean EOF at a
+// frame boundary comes back as io.EOF; anything torn, oversized, or
+// undecodable maps onto the typed Err* sentinels above.
 func readFrame(r io.Reader, v any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
+		if err == io.EOF {
+			return io.EOF // connection closed between frames
+		}
+		return fmt.Errorf("%w: header: %v", ErrFrameTruncated, err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return fmt.Errorf("dist: frame length %d exceeds limit", n)
+		return fmt.Errorf("%w: length prefix %d", ErrFrameTooLarge, n)
 	}
 	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return err
+	if m, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("%w: got %d of %d payload bytes: %v", ErrFrameTruncated, m, n, err)
 	}
 	if err := gob.NewDecoder(&sliceReader{b: buf}).Decode(v); err != nil {
-		return fmt.Errorf("dist: decode frame: %w", err)
+		return fmt.Errorf("%w: %v", ErrFrameCorrupt, err)
 	}
 	return nil
 }

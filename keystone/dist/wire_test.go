@@ -1,0 +1,142 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// frameBytes encodes v as one wire frame.
+func frameBytes(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadFrameMalformed pins the decoder's failure taxonomy: every
+// malformed input maps onto exactly one typed sentinel via errors.Is,
+// and none of them panic or hang.
+func TestReadFrameMalformed(t *testing.T) {
+	valid := frameBytes(t, &request{Op: opPing})
+
+	oversize := make([]byte, 4)
+	binary.BigEndian.PutUint32(oversize, maxFrame+1)
+
+	huge := make([]byte, 4)
+	binary.BigEndian.PutUint32(huge, 0xFFFFFFFF)
+
+	shortPayload := append([]byte(nil), valid[:len(valid)-3]...)
+
+	garbage := func() []byte {
+		payload := []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}
+		hdr := make([]byte, 4)
+		binary.BigEndian.PutUint32(hdr, uint32(len(payload)))
+		return append(hdr, payload...)
+	}()
+
+	empty := func() []byte {
+		hdr := make([]byte, 4)
+		return hdr // length 0, no payload: gob gets zero bytes
+	}()
+
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"clean EOF at boundary", nil, io.EOF},
+		{"torn header 1 byte", valid[:1], ErrFrameTruncated},
+		{"torn header 3 bytes", valid[:3], ErrFrameTruncated},
+		{"oversize prefix cap+1", oversize, ErrFrameTooLarge},
+		{"oversize prefix max uint32", huge, ErrFrameTooLarge},
+		{"truncated payload", shortPayload, ErrFrameTruncated},
+		{"header only, missing payload", valid[:4], ErrFrameTruncated},
+		{"garbage gob payload", garbage, ErrFrameCorrupt},
+		{"zero-length payload", empty, ErrFrameCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var req request
+			err := readFrame(bytes.NewReader(tc.in), &req)
+			if err == nil {
+				t.Fatalf("malformed frame decoded: %+v", req)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadFrameRoundTrip: a well-formed frame decodes to exactly what
+// was written, and the stream position lands on the next frame boundary.
+func TestReadFrameRoundTrip(t *testing.T) {
+	in := &request{
+		Op:      opApply,
+		Dataset: "dst",
+		Source:  "src",
+		OpKind:  "k",
+		OpState: []byte{1, 2, 3},
+		Only:    []int{0, 2},
+		Parts:   []partition{{Index: 1, Records: []any{"a", "b"}}},
+	}
+	stream := append(frameBytes(t, in), frameBytes(t, &request{Op: opPing})...)
+	r := bytes.NewReader(stream)
+	var got request
+	if err := readFrame(r, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != in.Op || got.Dataset != in.Dataset || len(got.Only) != 2 || len(got.Parts) != 1 {
+		t.Fatalf("round trip mangled the frame: %+v", got)
+	}
+	var next request
+	if err := readFrame(r, &next); err != nil || next.Op != opPing {
+		t.Fatalf("second frame = %+v, %v", next, err)
+	}
+	var eof request
+	if err := readFrame(r, &eof); err != io.EOF {
+		t.Fatalf("stream end = %v, want io.EOF", err)
+	}
+}
+
+// FuzzReadFrame: for arbitrary bytes the decoder must terminate without
+// panicking and classify every failure as io.EOF or one of the typed
+// sentinels — garbage never surfaces as an unclassified error, and a
+// frame the decoder accepts must re-encode.
+func FuzzReadFrame(f *testing.F) {
+	var seedBuf bytes.Buffer
+	writeFrame(&seedBuf, &request{Op: opApply, Dataset: "d", Source: "s", Only: []int{1}}) //nolint:errcheck // seed
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0, 0, 0, 4, 1, 2, 3, 4})
+	corrupt := append([]byte(nil), seedBuf.Bytes()...)
+	if len(corrupt) > 6 {
+		corrupt[6] ^= 0x5A
+	}
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req request
+		err := readFrame(bytes.NewReader(data), &req)
+		if err == nil {
+			var buf bytes.Buffer
+			if werr := writeFrame(&buf, &req); werr != nil {
+				t.Fatalf("accepted frame does not re-encode: %v", werr)
+			}
+			return
+		}
+		if err == io.EOF {
+			return
+		}
+		if !errors.Is(err, ErrFrameTruncated) && !errors.Is(err, ErrFrameTooLarge) && !errors.Is(err, ErrFrameCorrupt) {
+			t.Fatalf("unclassified decode error: %v", err)
+		}
+	})
+}

@@ -1,10 +1,14 @@
 package dist
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 
 	"keystoneml/internal/core"
@@ -47,7 +51,7 @@ type Worker struct {
 	mu     sync.Mutex
 	data   map[string]map[int][]any // dataset -> global partition index -> records
 	store  serve.ArtifactStore      // opened lazily for serve ops
-	routes map[string]bool          // routes already registered on the replica
+	routes map[string]string        // route -> artifact ref registered on the replica
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -70,7 +74,7 @@ func StartWorker(opts WorkerOptions) (*Worker, error) {
 		ctx:    engine.NewContext(par),
 		regDir: opts.RegistryDir,
 		data:   make(map[string]map[int][]any),
-		routes: make(map[string]bool),
+		routes: make(map[string]string),
 		closed: make(chan struct{}),
 		done:   make(chan struct{}),
 	}
@@ -82,7 +86,7 @@ func StartWorker(opts WorkerOptions) (*Worker, error) {
 		}
 		w.httpLn = hln
 		w.srv = serve.NewServer()
-		w.httpSrv = &http.Server{Handler: w.srv}
+		w.httpSrv = &http.Server{Handler: http.HandlerFunc(w.replicaHTTP)}
 		go w.httpSrv.Serve(hln) //nolint:errcheck // Serve returns on Close
 	}
 	go w.acceptLoop()
@@ -174,8 +178,12 @@ func (w *Worker) dispatch(req *request, resp *response) error {
 	case opLoad:
 		w.mu.Lock()
 		defer w.mu.Unlock()
+		// A scoped load (Only set — lineage replay) merges into what is
+		// already resident; an unscoped load replaces the dataset
+		// wholesale, so a retried Load after a reassignment cannot leave
+		// stale partitions from the previous owner table behind.
 		ds := w.data[req.Dataset]
-		if ds == nil {
+		if ds == nil || len(req.Only) == 0 {
 			ds = make(map[int][]any, len(req.Parts))
 			w.data[req.Dataset] = ds
 		}
@@ -188,19 +196,19 @@ func (w *Worker) dispatch(req *request, resp *response) error {
 		if err != nil {
 			return fmt.Errorf("dist: decode op %q: %w", req.OpKind, err)
 		}
-		idx, coll, err := w.collection(req.Source)
+		idx, coll, err := w.source(req.Source, req.Only)
 		if err != nil {
 			return err
 		}
 		out := w.ctx.Map(coll, op.Apply)
-		w.storeParts(req.Dataset, idx, out)
+		w.putParts(req.Dataset, idx, out, len(req.Only) > 0)
 		return nil
 	case opZip:
-		idxA, collA, err := w.collection(req.Source)
+		idxA, collA, err := w.source(req.Source, req.Only)
 		if err != nil {
 			return err
 		}
-		idxB, collB, err := w.collection(req.Source2)
+		idxB, collB, err := w.source(req.Source2, req.Only)
 		if err != nil {
 			return err
 		}
@@ -213,7 +221,7 @@ func (w *Worker) dispatch(req *request, resp *response) error {
 			}
 		}
 		out := w.ctx.Zip(collA, collB, core.ConcatFeatures)
-		w.storeParts(req.Dataset, idxA, out)
+		w.putParts(req.Dataset, idxA, out, len(req.Only) > 0)
 		return nil
 	case opAlias:
 		w.mu.Lock()
@@ -221,6 +229,21 @@ func (w *Worker) dispatch(req *request, resp *response) error {
 		src, ok := w.data[req.Source]
 		if !ok {
 			return fmt.Errorf("dist: no dataset %q", req.Source)
+		}
+		if len(req.Only) > 0 {
+			dst := w.data[req.Dataset]
+			if dst == nil {
+				dst = make(map[int][]any, len(req.Only))
+				w.data[req.Dataset] = dst
+			}
+			for _, gi := range req.Only {
+				recs, ok := src[gi]
+				if !ok {
+					return fmt.Errorf("dist: alias %q: partition %d not resident", req.Source, gi)
+				}
+				dst[gi] = recs
+			}
+			return nil
 		}
 		dst := make(map[int][]any, len(src))
 		for i, recs := range src {
@@ -268,17 +291,36 @@ func (w *Worker) dispatch(req *request, resp *response) error {
 // with partitions in that order) — the shape every partitioned op works
 // on.
 func (w *Worker) collection(name string) ([]int, *engine.Collection, error) {
+	return w.source(name, nil)
+}
+
+// source snapshots a dataset restricted to the given global partition
+// indices (nil = everything resident, the fast path). A requested index
+// that is not resident is an error — lineage replay must have merged
+// the parent partitions in first.
+func (w *Worker) source(name string, only []int) ([]int, *engine.Collection, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	ds, ok := w.data[name]
 	if !ok {
 		return nil, nil, fmt.Errorf("dist: no dataset %q", name)
 	}
-	idx := make([]int, 0, len(ds))
-	for i := range ds {
-		idx = append(idx, i)
+	var idx []int
+	if only != nil {
+		idx = append([]int(nil), only...)
+		sort.Ints(idx)
+		for _, gi := range idx {
+			if _, ok := ds[gi]; !ok {
+				return nil, nil, fmt.Errorf("dist: dataset %q: partition %d not resident", name, gi)
+			}
+		}
+	} else {
+		idx = make([]int, 0, len(ds))
+		for i := range ds {
+			idx = append(idx, i)
+		}
+		sort.Ints(idx)
 	}
-	sort.Ints(idx)
 	parts := make([][]any, len(idx))
 	for i, gi := range idx {
 		parts[i] = ds[gi]
@@ -286,20 +328,29 @@ func (w *Worker) collection(name string) ([]int, *engine.Collection, error) {
 	return idx, engine.FromPartitions(parts), nil
 }
 
-// storeParts writes a computed collection back under the same global
-// partition indices its input held.
-func (w *Worker) storeParts(name string, idx []int, coll *engine.Collection) {
-	ds := make(map[int][]any, len(idx))
+// putParts writes a computed collection back under the same global
+// partition indices its input held. merge keeps whatever else the
+// dataset already holds (the lineage-replay path); otherwise the
+// dataset is replaced wholesale, which is what makes unscoped op
+// retries idempotent.
+func (w *Worker) putParts(name string, idx []int, coll *engine.Collection, merge bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ds := w.data[name]
+	if ds == nil || !merge {
+		ds = make(map[int][]any, len(idx))
+		w.data[name] = ds
+	}
 	for i, gi := range idx {
 		ds[gi] = coll.Partition(i)
 	}
-	w.mu.Lock()
-	w.data[name] = ds
-	w.mu.Unlock()
 }
 
 // serveRoute registers a route on the worker's serving replica from a
-// registry artifact, via the binder registered for kind.
+// registry artifact, via the binder registered for kind. Re-registering
+// the same artifact is a no-op success — a lost wire response must be
+// re-sendable — while a different artifact on a registered route is
+// rejected (deploys of new artifacts go over HTTP).
 func (w *Worker) serveRoute(kind, route, ref string) (string, error) {
 	if w.srv == nil {
 		return "", fmt.Errorf("dist: worker has no HTTP replica (start with HTTPListen)")
@@ -309,8 +360,11 @@ func (w *Worker) serveRoute(kind, route, ref string) (string, error) {
 		return "", fmt.Errorf("dist: no serve kind %q registered in this worker", kind)
 	}
 	w.mu.Lock()
-	if w.routes[route] {
+	if cur, served := w.routes[route]; served {
 		w.mu.Unlock()
+		if cur == ref {
+			return w.HTTPAddr(), nil
+		}
 		return w.HTTPAddr(), fmt.Errorf("dist: route %q already served (deploy new artifacts over HTTP)", route)
 	}
 	if w.store == nil {
@@ -332,9 +386,64 @@ func (w *Worker) serveRoute(kind, route, ref string) (string, error) {
 		return "", err
 	}
 	w.mu.Lock()
-	w.routes[route] = true
+	w.routes[route] = ref
 	w.mu.Unlock()
 	return w.HTTPAddr(), nil
+}
+
+// replicaHTTP fronts the replica's serve.Server with one interception:
+// a POST deploy for a route this worker has never registered, carrying a
+// "kind" field, bootstrap-registers the route from the artifact via the
+// kind's ServeBinder. That is how a worker that restarted empty (fresh
+// serve.Server, no routes) is re-admitted by the router's rejoin
+// redeploy instead of serving 404s until a manual wire deploy.
+func (w *Worker) replicaHTTP(rw http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		if rest, ok := strings.CutPrefix(strings.TrimSuffix(r.URL.Path, "/"), "/routes/"); ok {
+			if name, action, _ := strings.Cut(rest, "/"); action == "deploy" && !w.hasRoute(name) {
+				w.bootstrapDeploy(rw, r, name)
+				return
+			}
+		}
+	}
+	w.srv.ServeHTTP(rw, r)
+}
+
+func (w *Worker) hasRoute(name string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, ok := w.routes[name]
+	return ok
+}
+
+// bootstrapDeploy registers an unknown route from a deploy body that
+// names its serve kind; without a kind the request falls through to the
+// serve.Server for its ordinary 404.
+func (w *Worker) bootstrapDeploy(rw http.ResponseWriter, r *http.Request, name string) {
+	raw, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, 1<<20))
+	if err != nil {
+		http.Error(rw, `{"error":"deploy body unreadable"}`, http.StatusBadRequest)
+		return
+	}
+	r.Body = io.NopCloser(bytes.NewReader(raw))
+	var body struct {
+		Artifact string `json:"artifact"`
+		Kind     string `json:"kind"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil || body.Kind == "" || body.Artifact == "" {
+		w.srv.ServeHTTP(rw, r) // not a bootstrap deploy; let serve answer
+		return
+	}
+	if _, err := w.serveRoute(body.Kind, name, body.Artifact); err != nil {
+		rw.Header().Set("Content-Type", "application/json")
+		rw.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(rw).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck // best-effort error body
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(map[string]string{ //nolint:errcheck // best-effort body
+		"route": name, "artifact": body.Artifact, "status": "registered",
+	})
 }
 
 // ServeBinder registers one route of a known pipeline shape on a
